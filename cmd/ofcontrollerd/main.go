@@ -1,0 +1,87 @@
+// Command ofcontrollerd is a standalone OpenFlow 1.3 controller speaking
+// the repository's wire codec over real TCP. It runs a simple reactive
+// policy: every punted flow gets an exact-match rule toward a fixed output
+// port, plus a Packet-Out for the triggering packet. Pair it with one or
+// more `ofagent` processes.
+//
+// Usage:
+//
+//	ofcontrollerd -addr 127.0.0.1:6633 -out 2
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scotch/internal/ofnet"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+)
+
+type reactive struct {
+	out uint32
+}
+
+func (r *reactive) SwitchConnected(sw *ofnet.SwitchConn) {
+	log.Printf("switch connected: dpid=%#x tables=%d", sw.DPID, sw.NTables)
+}
+
+func (r *reactive) SwitchGone(sw *ofnet.SwitchConn) {
+	log.Printf("switch gone: dpid=%#x (packet-ins served: %d)", sw.DPID, sw.PacketIns.Load())
+}
+
+func (r *reactive) PacketIn(sw *ofnet.SwitchConn, pin *openflow.PacketIn) {
+	pkt, err := packet.Parse(pin.Data)
+	if err != nil {
+		log.Printf("dpid=%#x packet-in with unparseable data: %v", sw.DPID, err)
+		return
+	}
+	key := pkt.FlowKey()
+	log.Printf("dpid=%#x packet-in in_port=%d flow=%v", sw.DPID, pin.Match.InPort, key)
+	match := openflow.Match{
+		Fields:  openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Src | openflow.FieldIPv4Dst,
+		EthType: packet.EtherTypeIPv4,
+		IPProto: key.Proto,
+		IPv4Src: key.Src,
+		IPv4Dst: key.Dst,
+	}
+	if err := sw.Install(&openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Priority:    100,
+		IdleTimeout: 30,
+		Match:       match,
+		Instructions: []openflow.Instruction{
+			openflow.ApplyActions(openflow.OutputAction(r.out)),
+		},
+	}); err != nil {
+		log.Printf("install failed: %v", err)
+		return
+	}
+	sw.PacketOut(&openflow.PacketOut{
+		BufferID: 0xffffffff,
+		InPort:   pin.Match.InPort,
+		Actions:  []openflow.Action{openflow.OutputAction(r.out)},
+		Data:     pin.Data,
+	})
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6633", "listen address")
+	out := flag.Uint("out", 2, "output port for reactive rules")
+	flag.Parse()
+
+	ctrl, err := ofnet.NewController(*addr, &reactive{out: uint32(*out)})
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("ofcontrollerd listening on %s", ctrl.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	ctrl.Close()
+}

@@ -1,0 +1,68 @@
+// Command scotchsim runs the paper-reproduction experiments.
+//
+// Usage:
+//
+//	scotchsim list             list experiment ids
+//	scotchsim run <id>...      run specific experiments (e.g. fig3 fig11)
+//	scotchsim all              run every experiment
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"scotch/internal/experiments"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-28s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			if err := runOne(e.ID); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	case "run":
+		if len(os.Args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		for _, id := range os.Args[2:] {
+			if err := runOne(id); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string) error {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try 'scotchsim list')", id)
+	}
+	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+	start := time.Now()
+	if err := e.Run(os.Stdout); err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	fmt.Printf("(%s completed in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: scotchsim list | all | run <id>...")
+}

@@ -1,0 +1,23 @@
+// Package scotch is a from-scratch Go reproduction of "Scotch: Elastically
+// Scaling up SDN Control-Plane using vswitch based Overlay" (CoNEXT 2014).
+//
+// The root package only anchors module documentation; the implementation
+// lives under internal/:
+//
+//   - internal/scotch      — the paper's contribution (overlay manager,
+//     ingress differentiation, elephant migration, withdrawal, failover)
+//   - internal/openflow    — OpenFlow 1.3-subset wire protocol
+//   - internal/device      — switch/OFA models calibrated to the paper
+//   - internal/controller  — the controller framework (the Ryu role)
+//   - internal/experiments — one runner per paper table and figure
+//   - internal/ofnet       — the same protocol over real TCP
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. Run experiments with:
+//
+//	go run ./cmd/scotchsim all
+//
+// and the benchmark harness (one benchmark per paper table/figure) with:
+//
+//	go test -bench=. -benchmem .
+package scotch

@@ -1,0 +1,137 @@
+// Real-TCP OpenFlow demo: an in-process controller and two live software
+// switches exchange actual OpenFlow 1.3 bytes over loopback TCP. The
+// second switch plays the Scotch vSwitch role: the controller installs a
+// select group at the edge switch that forwards overflow to it.
+//
+//	go run ./examples/overlaytcp
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/ofnet"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+)
+
+// handler wires a miniature Scotch-like policy: flows punted by the edge
+// (dpid 1) get a rule sending them to the vSwitch via "tunnel" port 100;
+// flows punted by the vSwitch (dpid 2) get a delivery rule to port 1.
+type handler struct {
+	mu   sync.Mutex
+	log  []string
+	done chan struct{}
+}
+
+func (h *handler) note(format string, args ...any) {
+	h.mu.Lock()
+	h.log = append(h.log, fmt.Sprintf(format, args...))
+	h.mu.Unlock()
+	log.Printf(format, args...)
+}
+
+func (h *handler) SwitchConnected(sw *ofnet.SwitchConn) {
+	h.note("handshake complete: dpid=%d", sw.DPID)
+	if sw.DPID == 1 {
+		// Select group at the edge: one bucket per vSwitch (just one here).
+		sw.GroupMod(&openflow.GroupMod{
+			Command: openflow.GroupAdd, GroupType: openflow.GroupTypeSelect, GroupID: 1,
+			Buckets: []openflow.Bucket{{Actions: []openflow.Action{openflow.OutputAction(100)}}},
+		})
+	}
+}
+
+func (h *handler) SwitchGone(sw *ofnet.SwitchConn) { h.note("switch gone: dpid=%d", sw.DPID) }
+
+func (h *handler) PacketIn(sw *ofnet.SwitchConn, pin *openflow.PacketIn) {
+	pkt, err := packet.Parse(pin.Data)
+	if err != nil {
+		return
+	}
+	key := pkt.FlowKey()
+	h.note("packet-in over TCP: dpid=%d flow=%v", sw.DPID, key)
+	match := openflow.Match{
+		Fields:  openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Dst,
+		EthType: packet.EtherTypeIPv4, IPProto: key.Proto, IPv4Dst: key.Dst,
+	}
+	out := uint32(1) // delivery port at the vSwitch
+	if sw.DPID == 1 {
+		out = 0 // edge: use the group instead
+	}
+	var actions []openflow.Action
+	if sw.DPID == 1 {
+		actions = []openflow.Action{openflow.GroupAction(1)}
+	} else {
+		actions = []openflow.Action{openflow.OutputAction(out)}
+	}
+	sw.Install(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 10, Match: match,
+		Instructions: []openflow.Instruction{openflow.ApplyActions(actions...)},
+	})
+	sw.PacketOut(&openflow.PacketOut{
+		BufferID: 0xffffffff, InPort: pin.Match.InPort,
+		Actions: actions, Data: pin.Data,
+	})
+}
+
+func main() {
+	h := &handler{done: make(chan struct{})}
+	ctrl, err := ofnet.NewController("127.0.0.1:0", h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ctrl.Close()
+	log.Printf("controller listening on %s", ctrl.Addr())
+
+	edge := ofnet.NewLiveSwitch(1, 2)
+	vswitch := ofnet.NewLiveSwitch(2, 2)
+
+	// Wire edge port 100 ("tunnel") into the vSwitch's port 100, and the
+	// vSwitch's port 1 to the destination host.
+	delivered := make(chan netaddr.FlowKey, 64)
+	edge.RegisterPort(100, func(p *packet.Packet) { vswitch.Inject(p, 100) })
+	vswitch.RegisterPort(1, func(p *packet.Packet) { delivered <- p.FlowKey() })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go edge.DialAndServe(ctx, ctrl.Addr())
+	go vswitch.DialAndServe(ctx, ctrl.Addr())
+
+	// Wait for both handshakes.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ctrl.Switch(1) != nil && ctrl.Switch(2) != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Push three new flows through the edge; each takes the reactive trip
+	// edge -> controller -> rules at both switches -> delivery.
+	for i := 0; i < 3; i++ {
+		p := packet.NewTCP(
+			netaddr.MakeIPv4(10, 0, 0, byte(i+1)),
+			netaddr.MakeIPv4(10, 0, 1, 1),
+			uint16(2000+i), 80, packet.FlagSYN)
+		edge.Inject(p, 1)
+	}
+
+	got := 0
+	timeout := time.After(5 * time.Second)
+	for got < 3 {
+		select {
+		case key := <-delivered:
+			got++
+			log.Printf("delivered end-to-end via TCP-controlled switches: %v", key)
+		case <-timeout:
+			log.Fatal("timed out waiting for deliveries")
+		}
+	}
+	fmt.Printf("\n%d flows delivered; edge rules=%d vswitch rules=%d (all control traffic was real OpenFlow over TCP)\n",
+		got, edge.RuleCount(), vswitch.RuleCount())
+}

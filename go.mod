@@ -1,0 +1,3 @@
+module scotch
+
+go 1.22

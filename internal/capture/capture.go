@@ -1,0 +1,241 @@
+// Package capture is the simulator's tcpdump: it records per-flow send and
+// receive events at the hosts and computes the paper's measurement
+// quantities — most importantly the "client flow failure fraction", the
+// fraction of a traffic class's flows that never reach their destination
+// (paper §3.2).
+package capture
+
+import (
+	"scotch/internal/device"
+	"scotch/internal/metrics"
+	"scotch/internal/netaddr"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// FlowRecord tracks one flow end to end.
+type FlowRecord struct {
+	ID    uint64
+	Key   netaddr.FlowKey
+	Class string // traffic class ("client", "attack", ...)
+
+	Expected    int // packets the source will send
+	PacketsSent int
+	BytesSent   uint64
+	PacketsRecv int
+	BytesRecv   uint64
+
+	FirstSent sim.Time
+	FirstRecv sim.Time
+	LastRecv  sim.Time
+}
+
+// Delivered reports whether at least one packet of the flow arrived.
+func (f *FlowRecord) Delivered() bool { return f.PacketsRecv > 0 }
+
+// Completed reports whether every sent packet arrived.
+func (f *FlowRecord) Completed() bool {
+	return f.PacketsSent > 0 && f.PacketsRecv >= f.PacketsSent && f.PacketsSent >= f.Expected
+}
+
+// Capture aggregates flow records for one experiment.
+type Capture struct {
+	eng     *sim.Engine
+	flows   map[uint64]*FlowRecord
+	byKey   map[netaddr.FlowKey]*FlowRecord
+	latency map[string]*metrics.Histogram // per-class one-way packet delay
+	nextID  uint64
+}
+
+// New returns an empty capture.
+func New(eng *sim.Engine) *Capture {
+	return &Capture{
+		eng:     eng,
+		flows:   make(map[uint64]*FlowRecord),
+		byKey:   make(map[netaddr.FlowKey]*FlowRecord),
+		latency: make(map[string]*metrics.Histogram),
+	}
+}
+
+// NewFlow registers a flow about to be sent and returns its record. The
+// returned record's ID must be stamped into packet Meta.FlowID.
+func (c *Capture) NewFlow(key netaddr.FlowKey, class string, expected int) *FlowRecord {
+	c.nextID++
+	f := &FlowRecord{ID: c.nextID, Key: key, Class: class, Expected: expected, FirstSent: c.eng.Now()}
+	c.flows[f.ID] = f
+	c.byKey[key] = f
+	return f
+}
+
+// RecordSend notes the transmission of a packet belonging to a registered
+// flow (identified through Meta.FlowID).
+func (c *Capture) RecordSend(pkt *packet.Packet) {
+	if f := c.lookup(pkt); f != nil {
+		if f.PacketsSent == 0 {
+			f.FirstSent = c.eng.Now()
+		}
+		f.PacketsSent++
+		f.BytesSent += uint64(pkt.Size)
+	}
+}
+
+// lookup resolves a packet to its flow record. Metadata is preferred, but
+// packets that crossed a Packet-In/Packet-Out wire round trip lose their
+// simulation metadata, so the 5-tuple is the fallback identity.
+func (c *Capture) lookup(pkt *packet.Packet) *FlowRecord {
+	if f := c.flows[pkt.Meta.FlowID]; f != nil {
+		return f
+	}
+	return c.byKey[pkt.FlowKey()]
+}
+
+// RecordRecv notes the delivery of a packet belonging to a registered flow.
+func (c *Capture) RecordRecv(pkt *packet.Packet, now sim.Time) {
+	if f := c.lookup(pkt); f != nil {
+		if f.PacketsRecv == 0 {
+			f.FirstRecv = now
+		}
+		f.PacketsRecv++
+		f.BytesRecv += uint64(pkt.Size)
+		f.LastRecv = now
+		if pkt.Meta.SentAt > 0 {
+			h := c.latency[f.Class]
+			if h == nil {
+				h = &metrics.Histogram{}
+				c.latency[f.Class] = h
+			}
+			h.AddDuration(now - pkt.Meta.SentAt)
+		}
+	}
+}
+
+// PacketLatency returns the one-way packet delay distribution (seconds)
+// observed for a class. Packets that crossed a Packet-In/Packet-Out round
+// trip lose their send timestamp and are not included.
+func (c *Capture) PacketLatency(class string) *metrics.Histogram {
+	if h := c.latency[class]; h != nil {
+		return h
+	}
+	return &metrics.Histogram{}
+}
+
+// Attach hooks the capture into a host's receive path, chaining any
+// existing observer.
+func (c *Capture) Attach(h *device.Host) {
+	prev := h.OnReceive
+	h.OnReceive = func(pkt *packet.Packet, now sim.Time) {
+		c.RecordRecv(pkt, now)
+		if prev != nil {
+			prev(pkt, now)
+		}
+	}
+}
+
+// Flows returns the records of a class ("" = all).
+func (c *Capture) Flows(class string) []*FlowRecord {
+	var out []*FlowRecord
+	for _, f := range c.flows {
+		if class == "" || f.Class == class {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// FailureFraction returns the fraction of the class's sent flows with zero
+// delivered packets — the paper's headline metric.
+func (c *Capture) FailureFraction(class string) float64 {
+	sent, failed := 0, 0
+	for _, f := range c.flows {
+		if (class != "" && f.Class != class) || f.PacketsSent == 0 {
+			continue
+		}
+		sent++
+		if !f.Delivered() {
+			failed++
+		}
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(failed) / float64(sent)
+}
+
+// DeliveryRatio returns delivered packets / sent packets for a class.
+func (c *Capture) DeliveryRatio(class string) float64 {
+	var sent, recv int
+	for _, f := range c.flows {
+		if class != "" && f.Class != class {
+			continue
+		}
+		sent += f.PacketsSent
+		recv += f.PacketsRecv
+	}
+	if sent == 0 {
+		return 0
+	}
+	return float64(recv) / float64(sent)
+}
+
+// CompletionFraction returns the fraction of the class's flows that
+// delivered every packet.
+func (c *Capture) CompletionFraction(class string) float64 {
+	n, done := 0, 0
+	for _, f := range c.flows {
+		if (class != "" && f.Class != class) || f.PacketsSent == 0 {
+			continue
+		}
+		n++
+		if f.Completed() {
+			done++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(done) / float64(n)
+}
+
+// FCT returns the flow-completion-time distribution (seconds) of the
+// class's completed flows.
+func (c *Capture) FCT(class string) *metrics.Histogram {
+	var h metrics.Histogram
+	for _, f := range c.flows {
+		if class != "" && f.Class != class {
+			continue
+		}
+		if f.Completed() {
+			h.AddDuration(f.LastRecv - f.FirstSent)
+		}
+	}
+	return &h
+}
+
+// FirstPacketLatency returns the distribution of first-packet delivery
+// latencies (flow setup + transit) for delivered flows of the class.
+func (c *Capture) FirstPacketLatency(class string) *metrics.Histogram {
+	var h metrics.Histogram
+	for _, f := range c.flows {
+		if class != "" && f.Class != class {
+			continue
+		}
+		if f.Delivered() {
+			h.AddDuration(f.FirstRecv - f.FirstSent)
+		}
+	}
+	return &h
+}
+
+// Counts returns (flows sent, flows delivered) for a class.
+func (c *Capture) Counts(class string) (sent, delivered int) {
+	for _, f := range c.flows {
+		if (class != "" && f.Class != class) || f.PacketsSent == 0 {
+			continue
+		}
+		sent++
+		if f.Delivered() {
+			delivered++
+		}
+	}
+	return sent, delivered
+}

@@ -1,0 +1,212 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"scotch/internal/device"
+	"scotch/internal/netaddr"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+var (
+	srcIP = netaddr.MakeIPv4(10, 0, 0, 1)
+	dstIP = netaddr.MakeIPv4(10, 0, 1, 1)
+)
+
+func key(port uint16) netaddr.FlowKey {
+	return netaddr.FlowKey{Src: srcIP, Dst: dstIP, Proto: netaddr.ProtoTCP, SrcPort: port, DstPort: 80}
+}
+
+func TestFlowLifecycle(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	f := c.NewFlow(key(1), "client", 3)
+	for i := 0; i < 3; i++ {
+		p := packet.NewTCP(srcIP, dstIP, 1, 80, 0)
+		p.Meta.FlowID = f.ID
+		c.RecordSend(p)
+		c.RecordRecv(p, eng.Now())
+	}
+	if !f.Delivered() || !f.Completed() {
+		t.Fatalf("flow state: delivered=%v completed=%v", f.Delivered(), f.Completed())
+	}
+	if c.FailureFraction("client") != 0 || c.CompletionFraction("client") != 1 {
+		t.Fatal("class metrics wrong")
+	}
+}
+
+func TestLookupFallsBackToFlowKey(t *testing.T) {
+	// Packets that crossed a Packet-In/Packet-Out wire round trip lose
+	// their Meta; the capture must still attribute them via the 5-tuple.
+	eng := sim.New(1)
+	c := New(eng)
+	f := c.NewFlow(key(9), "client", 1)
+	p := packet.NewTCP(srcIP, dstIP, 9, 80, 0)
+	p.Meta.FlowID = f.ID
+	c.RecordSend(p)
+	reparsed, err := packet.Parse(p.Marshal()) // Meta is gone
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed.Meta.FlowID != 0 {
+		t.Fatal("meta survived the wire?")
+	}
+	c.RecordRecv(reparsed, 5*time.Millisecond)
+	if f.PacketsRecv != 1 {
+		t.Fatal("key-based lookup failed")
+	}
+}
+
+func TestFailureFraction(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	for i := 0; i < 10; i++ {
+		f := c.NewFlow(key(uint16(100+i)), "attack", 1)
+		p := packet.NewTCP(srcIP, dstIP, uint16(100+i), 80, 0)
+		p.Meta.FlowID = f.ID
+		c.RecordSend(p)
+		if i < 3 { // only three delivered
+			c.RecordRecv(p, eng.Now())
+		}
+	}
+	if got := c.FailureFraction("attack"); got != 0.7 {
+		t.Fatalf("failure fraction = %v, want 0.7", got)
+	}
+	if got := c.DeliveryRatio("attack"); got != 0.3 {
+		t.Fatalf("delivery ratio = %v, want 0.3", got)
+	}
+	sent, delivered := c.Counts("attack")
+	if sent != 10 || delivered != 3 {
+		t.Fatalf("counts = %d/%d", sent, delivered)
+	}
+	// Unknown class is empty, not a divide-by-zero.
+	if c.FailureFraction("nope") != 0 {
+		t.Fatal("unknown class failure nonzero")
+	}
+}
+
+func TestRegisteredButNeverSentExcluded(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	c.NewFlow(key(1), "client", 1) // registered, zero packets sent
+	if c.FailureFraction("client") != 0 {
+		t.Fatal("unsent flow counted as failure")
+	}
+}
+
+func TestFCTAndLatency(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	f := c.NewFlow(key(5), "client", 2)
+	p1 := packet.NewTCP(srcIP, dstIP, 5, 80, 0)
+	p1.Meta.FlowID = f.ID
+	p1.Meta.SentAt = 0
+	c.RecordSend(p1)
+	eng.RunUntil(2 * time.Millisecond)
+	c.RecordRecv(p1, eng.Now())
+
+	p2 := packet.NewTCP(srcIP, dstIP, 5, 80, 0)
+	p2.Meta.FlowID = f.ID
+	p2.Meta.SentAt = 8 * time.Millisecond
+	c.RecordSend(p2)
+	c.RecordRecv(p2, 10*time.Millisecond)
+
+	fct := c.FCT("client")
+	if fct.Count() != 1 {
+		t.Fatalf("fct count = %d", fct.Count())
+	}
+	if got := fct.Quantile(0.5); got < 0.009 || got > 0.011 {
+		t.Fatalf("fct = %v, want ~10ms", got)
+	}
+	first := c.FirstPacketLatency("client")
+	if got := first.Quantile(0.5); got < 0.0019 || got > 0.0021 {
+		t.Fatalf("first packet latency = %v, want ~2ms", got)
+	}
+	lat := c.PacketLatency("client")
+	if lat.Count() != 1 { // only p2 carried SentAt
+		t.Fatalf("latency samples = %d", lat.Count())
+	}
+	if got := lat.Quantile(0.5); got < 0.0019 || got > 0.0021 {
+		t.Fatalf("packet latency = %v, want ~2ms", got)
+	}
+	if c.PacketLatency("empty").Count() != 0 {
+		t.Fatal("unknown class latency not empty")
+	}
+}
+
+func TestAttachChainsObservers(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	h := device.NewHost(eng, "h", dstIP, netaddr.MakeMAC(1))
+	observed := 0
+	h.OnReceive = func(*packet.Packet, sim.Time) { observed++ }
+	c.Attach(h)
+
+	f := c.NewFlow(key(3), "client", 1)
+	src := device.NewHost(eng, "src", srcIP, netaddr.MakeMAC(2))
+	device.Connect(eng, src, 1, h, 1, device.LinkConfig{})
+	p := packet.NewTCP(srcIP, dstIP, 3, 80, 0)
+	p.Meta.FlowID = f.ID
+	c.RecordSend(p)
+	src.Send(p)
+	eng.RunUntil(time.Second)
+
+	if f.PacketsRecv != 1 {
+		t.Fatal("capture did not record the delivery")
+	}
+	if observed != 1 {
+		t.Fatal("original observer was not chained")
+	}
+}
+
+func TestFlowsByClass(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	c.NewFlow(key(1), "a", 1)
+	c.NewFlow(key(2), "b", 1)
+	c.NewFlow(key(3), "a", 1)
+	if got := len(c.Flows("a")); got != 2 {
+		t.Fatalf("class a flows = %d", got)
+	}
+	if got := len(c.Flows("")); got != 3 {
+		t.Fatalf("all flows = %d", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	eng := sim.New(1)
+	c := New(eng)
+	f := c.NewFlow(key(1), "client", 1)
+	p := packet.NewTCP(srcIP, dstIP, 1, 80, 0)
+	p.Meta.FlowID = f.ID
+	c.RecordSend(p)
+	c.RecordRecv(p, 3*time.Millisecond)
+	c.NewFlow(key(2), "attack", 1)
+
+	var buf strings.Builder
+	if err := c.WriteCSV(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // header + 2 flows
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "id,class,src") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "10.0.0.1") || !strings.Contains(lines[1], "true") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	// Class filter.
+	buf.Reset()
+	if err := c.WriteCSV(&buf, "attack"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(buf.String()), "\n")); got != 2 {
+		t.Fatalf("filtered csv lines = %d", got)
+	}
+}

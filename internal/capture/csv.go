@@ -1,0 +1,50 @@
+package capture
+
+import (
+	"encoding/csv"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV dumps every flow record ("" = all classes) as CSV, sorted by
+// flow id, for offline analysis of experiment runs.
+func (c *Capture) WriteCSV(w io.Writer, class string) error {
+	flows := c.Flows(class)
+	sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+	cw := csv.NewWriter(w)
+	header := []string{
+		"id", "class", "src", "sport", "dst", "dport", "proto",
+		"expected", "sent", "recv", "bytes_sent", "bytes_recv",
+		"first_sent_s", "first_recv_s", "last_recv_s", "delivered", "completed",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, f := range flows {
+		rec := []string{
+			strconv.FormatUint(f.ID, 10),
+			f.Class,
+			f.Key.Src.String(),
+			strconv.Itoa(int(f.Key.SrcPort)),
+			f.Key.Dst.String(),
+			strconv.Itoa(int(f.Key.DstPort)),
+			strconv.Itoa(int(f.Key.Proto)),
+			strconv.Itoa(f.Expected),
+			strconv.Itoa(f.PacketsSent),
+			strconv.Itoa(f.PacketsRecv),
+			strconv.FormatUint(f.BytesSent, 10),
+			strconv.FormatUint(f.BytesRecv, 10),
+			strconv.FormatFloat(f.FirstSent.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(f.FirstRecv.Seconds(), 'f', 6, 64),
+			strconv.FormatFloat(f.LastRecv.Seconds(), 'f', 6, 64),
+			strconv.FormatBool(f.Delivered()),
+			strconv.FormatBool(f.Completed()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,271 @@
+// Package controller implements the OpenFlow controller framework the
+// Scotch application runs on: switch connections, message dispatch to
+// applications, path setup, flow statistics collection, Packet-In rate
+// monitoring, and liveness tracking — the roles Ryu plays in the paper's
+// testbed.
+package controller
+
+import (
+	"time"
+
+	"scotch/internal/device"
+	"scotch/internal/metrics"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+	"scotch/internal/topo"
+)
+
+// App is a controller application. Apps are consulted in registration
+// order; the first to return true consumes the Packet-In.
+type App interface {
+	// Name identifies the app.
+	Name() string
+	// HandlePacketIn processes a punted packet. pkt is the parsed packet
+	// from the message data (nil if unparseable).
+	HandlePacketIn(sw *SwitchHandle, pin *openflow.PacketIn, pkt *packet.Packet) bool
+}
+
+// FlowRemovedHandler is implemented by apps that track rule expiry.
+type FlowRemovedHandler interface {
+	HandleFlowRemoved(sw *SwitchHandle, fr *openflow.FlowRemoved)
+}
+
+// ErrorHandler is implemented by apps that react to switch errors (e.g.
+// table-full).
+type ErrorHandler interface {
+	HandleError(sw *SwitchHandle, e *openflow.Error)
+}
+
+// Stats counts controller activity.
+type Stats struct {
+	PacketIns      uint64
+	FlowModsSent   uint64
+	PacketOutsSent uint64
+	GroupModsSent  uint64
+	ErrorsReceived uint64
+	EchoReplies    uint64
+}
+
+// SwitchHandle is the controller's per-switch state.
+type SwitchHandle struct {
+	DPID uint64
+	Dev  *device.Switch
+
+	// PacketInRate tracks the Packet-In arrival rate from this switch:
+	// the congestion signal Scotch monitors (paper §4.2).
+	PacketInRate *metrics.RateMeter
+
+	ctrl         *Controller
+	xid          uint32
+	statsCB      map[uint32]func(*openflow.MultipartReply)
+	statsAcc     map[uint32][]openflow.FlowStats
+	barrierCB    map[uint32]func()
+	echoPending  int
+	lastEchoSent sim.Time
+	dead         bool
+}
+
+// Controller is the central OpenFlow controller.
+type Controller struct {
+	Eng *sim.Engine
+	Net *topo.Network
+
+	apps     []App
+	switches map[uint64]*SwitchHandle
+	FlowDB   *FlowInfoDB
+	Stats    Stats
+
+	// OnSwitchDead is invoked once when heartbeats to a switch are lost.
+	OnSwitchDead func(sw *SwitchHandle)
+}
+
+// New creates a controller over the given network.
+func New(eng *sim.Engine, net *topo.Network) *Controller {
+	return &Controller{
+		Eng:      eng,
+		Net:      net,
+		switches: make(map[uint64]*SwitchHandle),
+		FlowDB:   NewFlowInfoDB(),
+	}
+}
+
+// Register adds an application. Registration order is consultation order.
+func (c *Controller) Register(app App) { c.apps = append(c.apps, app) }
+
+// Connect attaches a switch to the controller and runs the OpenFlow
+// handshake (Hello, Features).
+func (c *Controller) Connect(sw *device.Switch) *SwitchHandle {
+	h := &SwitchHandle{
+		DPID:         sw.DPID,
+		Dev:          sw,
+		PacketInRate: metrics.NewRateMeter(time.Second, 10),
+		ctrl:         c,
+		statsCB:      make(map[uint32]func(*openflow.MultipartReply)),
+		statsAcc:     make(map[uint32][]openflow.FlowStats),
+		barrierCB:    make(map[uint32]func()),
+	}
+	c.switches[sw.DPID] = h
+	sw.SetController(c.receive)
+	h.send(&openflow.Hello{})
+	h.send(&openflow.FeaturesRequest{})
+	return h
+}
+
+// ConnectAll attaches every switch in the network.
+func (c *Controller) ConnectAll() {
+	for _, sw := range c.Net.Switches() {
+		if _, ok := c.switches[sw.DPID]; !ok {
+			c.Connect(sw)
+		}
+	}
+}
+
+// Switch returns the handle for a datapath id, or nil.
+func (c *Controller) Switch(dpid uint64) *SwitchHandle { return c.switches[dpid] }
+
+// Switches returns all connected switch handles.
+func (c *Controller) Switches() map[uint64]*SwitchHandle { return c.switches }
+
+func (h *SwitchHandle) send(m openflow.Message) uint32 {
+	h.xid++
+	b, err := openflow.Marshal(m, h.xid)
+	if err != nil {
+		panic(err)
+	}
+	h.Dev.DeliverControl(b)
+	return h.xid
+}
+
+// InstallFlow sends a FlowMod to the switch.
+func (h *SwitchHandle) InstallFlow(fm *openflow.FlowMod) {
+	h.ctrl.Stats.FlowModsSent++
+	h.send(fm)
+}
+
+// SendPacketOut injects a packet at the switch.
+func (h *SwitchHandle) SendPacketOut(po *openflow.PacketOut) {
+	h.ctrl.Stats.PacketOutsSent++
+	h.send(po)
+}
+
+// SendGroupMod installs or modifies a group.
+func (h *SwitchHandle) SendGroupMod(gm *openflow.GroupMod) {
+	h.ctrl.Stats.GroupModsSent++
+	h.send(gm)
+}
+
+// RequestFlowStats queries the switch's flow statistics; cb runs on reply.
+func (h *SwitchHandle) RequestFlowStats(req *openflow.FlowStatsRequest, cb func(*openflow.MultipartReply)) {
+	xid := h.send(&openflow.MultipartRequest{MPType: openflow.MultipartFlow, Flow: req})
+	h.statsCB[xid] = cb
+}
+
+// Barrier sends a barrier request; cb runs when the switch has processed
+// all preceding messages.
+func (h *SwitchHandle) Barrier(cb func()) {
+	xid := h.send(&openflow.BarrierRequest{})
+	h.barrierCB[xid] = cb
+}
+
+// Dead reports whether the heartbeat monitor declared the switch failed.
+func (h *SwitchHandle) Dead() bool { return h.dead }
+
+// receive decodes and dispatches a switch-to-controller message.
+func (c *Controller) receive(dpid uint64, raw []byte) {
+	h := c.switches[dpid]
+	if h == nil {
+		return
+	}
+	msg, xid, err := openflow.Unmarshal(raw)
+	if err != nil {
+		return
+	}
+	now := c.Eng.Now()
+	switch m := msg.(type) {
+	case *openflow.PacketIn:
+		c.Stats.PacketIns++
+		h.PacketInRate.Add(now, 1)
+		pkt, _ := packet.Parse(m.Data)
+		for _, app := range c.apps {
+			if app.HandlePacketIn(h, m, pkt) {
+				break
+			}
+		}
+	case *openflow.EchoReply:
+		c.Stats.EchoReplies++
+		h.echoPending = 0
+	case *openflow.MultipartReply:
+		if cb, ok := h.statsCB[xid]; ok {
+			h.statsAcc[xid] = append(h.statsAcc[xid], m.Flows...)
+			if !m.More {
+				m.Flows = h.statsAcc[xid]
+				delete(h.statsAcc, xid)
+				delete(h.statsCB, xid)
+				cb(m)
+			}
+		}
+	case *openflow.BarrierReply:
+		if cb, ok := h.barrierCB[xid]; ok {
+			delete(h.barrierCB, xid)
+			cb()
+		}
+	case *openflow.FlowRemoved:
+		for _, app := range c.apps {
+			if fr, ok := app.(FlowRemovedHandler); ok {
+				fr.HandleFlowRemoved(h, m)
+			}
+		}
+	case *openflow.Error:
+		c.Stats.ErrorsReceived++
+		for _, app := range c.apps {
+			if eh, ok := app.(ErrorHandler); ok {
+				eh.HandleError(h, m)
+			}
+		}
+	}
+}
+
+// StartHeartbeat begins periodic ECHO probing of the given switches. A
+// switch that misses `misses` consecutive replies is declared dead and
+// OnSwitchDead fires once (the paper's vSwitch failure detection, §5.6).
+func (c *Controller) StartHeartbeat(dpids []uint64, interval time.Duration, misses int) *sim.Ticker {
+	return c.Eng.Every(interval, func() {
+		for _, dpid := range dpids {
+			h := c.switches[dpid]
+			if h == nil || h.dead {
+				continue
+			}
+			if h.echoPending >= misses {
+				h.dead = true
+				if c.OnSwitchDead != nil {
+					c.OnSwitchDead(h)
+				}
+				continue
+			}
+			h.echoPending++
+			h.lastEchoSent = c.Eng.Now()
+			h.send(&openflow.EchoRequest{Data: []byte{byte(dpid)}})
+		}
+	})
+}
+
+// InstallPath installs forwarding rules along hops in reverse order so the
+// first-hop rule lands last (paper §5.3: "the forwarding rule on the first
+// hop switch is added at last so that packets are forwarded on the new
+// path only after all switches on the path are ready"). fm builds the
+// FlowMod for each hop. Returns the first-hop handle, or nil if any switch
+// on the path is unknown.
+func (c *Controller) InstallPath(hops []topo.Hop, fm func(hop topo.Hop) *openflow.FlowMod) *SwitchHandle {
+	if len(hops) == 0 {
+		return nil
+	}
+	for i := len(hops) - 1; i >= 0; i-- {
+		h := c.switches[hops[i].DPID]
+		if h == nil {
+			return nil
+		}
+		h.InstallFlow(fm(hops[i]))
+	}
+	return c.switches[hops[0].DPID]
+}

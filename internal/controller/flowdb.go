@@ -1,0 +1,60 @@
+package controller
+
+import (
+	"scotch/internal/netaddr"
+	"scotch/internal/sim"
+)
+
+// FlowInfo is the controller's record of one flow: where it entered the
+// network (the paper's Flow Info Database, §5.2, keyed by the tunnel-id to
+// switch and inner-label to ingress-port mappings), which middleboxes it
+// must traverse, and whether it currently rides the Scotch overlay.
+type FlowInfo struct {
+	Key         netaddr.FlowKey
+	FirstHop    uint64 // datapath id of the first physical switch
+	IngressPort uint32 // ingress port at the first-hop switch
+
+	// Waypoints are the middlebox-attached switches (S_U, S_D pairs) the
+	// flow traverses; a migrated physical path must cross the same ones
+	// (§5.4).
+	Waypoints []uint64
+
+	OnOverlay      bool   // currently forwarded over the vSwitch mesh
+	OverlayVSwitch uint64 // mesh vSwitch handling the flow
+	Migrated       bool   // moved to a physical path by the migrator
+
+	Created sim.Time
+}
+
+// FlowInfoDB indexes FlowInfo by flow key.
+type FlowInfoDB struct {
+	flows map[netaddr.FlowKey]*FlowInfo
+}
+
+// NewFlowInfoDB returns an empty database.
+func NewFlowInfoDB() *FlowInfoDB {
+	return &FlowInfoDB{flows: make(map[netaddr.FlowKey]*FlowInfo)}
+}
+
+// Lookup returns the record for key, or nil.
+func (db *FlowInfoDB) Lookup(key netaddr.FlowKey) *FlowInfo { return db.flows[key] }
+
+// Put stores (replacing) a record.
+func (db *FlowInfoDB) Put(fi *FlowInfo) { db.flows[fi.Key] = fi }
+
+// Delete removes the record for key.
+func (db *FlowInfoDB) Delete(key netaddr.FlowKey) { delete(db.flows, key) }
+
+// Len returns the number of records.
+func (db *FlowInfoDB) Len() int { return len(db.flows) }
+
+// OverlayFlows returns all records currently on the overlay.
+func (db *FlowInfoDB) OverlayFlows() []*FlowInfo {
+	var out []*FlowInfo
+	for _, fi := range db.flows {
+		if fi.OnOverlay {
+			out = append(out, fi)
+		}
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/sim"
+	"scotch/internal/topo"
+)
+
+// TestFlowStatsChunkedReassembly installs more rules than fit in a single
+// multipart part and verifies the controller reassembles the full set
+// from the REPLY_MORE chain.
+func TestFlowStatsChunkedReassembly(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.New(eng)
+	sw := net.AddSwitch("s1", fastProfile())
+	c := New(eng, net)
+	h := c.Connect(sw)
+
+	const rules = 1000 // chunk size at the switch is 400
+	for i := 0; i < rules; i++ {
+		h.InstallFlow(&openflow.FlowMod{
+			Command:  openflow.FlowAdd,
+			Priority: 10,
+			Match: openflow.Match{
+				Fields:  openflow.FieldIPv4Src,
+				IPv4Src: netaddr.IPv4(i + 1),
+			},
+			Instructions: []openflow.Instruction{
+				openflow.ApplyActions(openflow.OutputAction(1)),
+			},
+		})
+	}
+	eng.RunUntil(time.Second)
+	if got := sw.Pipeline.Table(0).Len(); got != rules {
+		t.Fatalf("installed %d rules, want %d", got, rules)
+	}
+
+	var got *openflow.MultipartReply
+	calls := 0
+	h.RequestFlowStats(&openflow.FlowStatsRequest{TableID: 0xff}, func(r *openflow.MultipartReply) {
+		calls++
+		got = r
+	})
+	eng.RunUntil(2 * time.Second)
+	if calls != 1 {
+		t.Fatalf("callback fired %d times, want exactly 1 (after the final part)", calls)
+	}
+	if got == nil || len(got.Flows) != rules {
+		t.Fatalf("reassembled %d flow entries, want %d", len(got.Flows), rules)
+	}
+	seen := map[netaddr.IPv4]bool{}
+	for _, f := range got.Flows {
+		seen[f.Match.IPv4Src] = true
+	}
+	if len(seen) != rules {
+		t.Fatalf("duplicate or missing entries: %d unique", len(seen))
+	}
+}
+
+// TestConcurrentStatsRequestsKeepXIDsApart issues two overlapping queries
+// and checks each callback receives its own reply.
+func TestConcurrentStatsRequestsKeepXIDsApart(t *testing.T) {
+	eng := sim.New(1)
+	net := topo.New(eng)
+	sw := net.AddSwitch("s1", fastProfile())
+	c := New(eng, net)
+	h := c.Connect(sw)
+	h.InstallFlow(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 1,
+		Match:        openflow.Match{Fields: openflow.FieldIPv4Src, IPv4Src: 1},
+		Instructions: []openflow.Instruction{openflow.ApplyActions(openflow.OutputAction(1))},
+	})
+	eng.RunUntil(100 * time.Millisecond)
+
+	got1, got2 := 0, 0
+	h.RequestFlowStats(&openflow.FlowStatsRequest{TableID: 0xff}, func(r *openflow.MultipartReply) {
+		got1 = len(r.Flows)
+	})
+	h.RequestFlowStats(&openflow.FlowStatsRequest{TableID: 0xff}, func(r *openflow.MultipartReply) {
+		got2 = len(r.Flows)
+	})
+	eng.RunUntil(time.Second)
+	if got1 != 1 || got2 != 1 {
+		t.Fatalf("callbacks got %d/%d entries, want 1/1", got1, got2)
+	}
+}

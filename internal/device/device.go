@@ -1,0 +1,128 @@
+// Package device models the network elements of a Scotch deployment: SDN
+// switches (hardware and virtual) with rate-limited OpenFlow Agents, links,
+// MPLS/GRE tunnels, end hosts, and stateful middleboxes.
+//
+// The central fidelity point, taken from the paper's measurements, is that
+// a switch is *two* machines: a fast data plane (flow-table lookups at line
+// rate) and a slow control agent (the OFA) whose Packet-In generation and
+// rule-insertion rates are orders of magnitude lower. Both are modelled as
+// finite-queue servers on the simulation engine, with per-model constants
+// in profiles.go.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// Node is anything that can terminate a link and receive packets.
+type Node interface {
+	// Name returns the node's unique name.
+	Name() string
+	// Receive delivers a packet arriving on one of the node's ports.
+	Receive(pkt *packet.Packet, port *Port)
+	// attachPort registers a new port on the node.
+	attachPort(p *Port)
+}
+
+// Port is one attachment point of a node: either the endpoint of a
+// physical link or a logical tunnel port.
+type Port struct {
+	ID     uint32
+	Owner  Node
+	Link   *Link   // non-nil for physical ports
+	Tunnel *Tunnel // non-nil for tunnel ports
+	peer   *Port
+}
+
+// Peer returns the port at the other end of the link or tunnel.
+func (p *Port) Peer() *Port { return p.peer }
+
+// Send transmits a packet out of this port. tunnelKey is the pending
+// set_field(tunnel_id) value and is only meaningful for tunnel ports.
+func (p *Port) Send(pkt *packet.Packet, tunnelKey uint64) {
+	switch {
+	case p.Tunnel != nil:
+		p.Tunnel.transmit(pkt, p, tunnelKey)
+	case p.Link != nil:
+		p.Link.transmit(pkt, p)
+	}
+}
+
+// String identifies the port for logs.
+func (p *Port) String() string {
+	return fmt.Sprintf("%s:%d", p.Owner.Name(), p.ID)
+}
+
+// LinkConfig sets a link's characteristics. The zero value means a fast,
+// zero-delay, loss-free link.
+type LinkConfig struct {
+	Delay      time.Duration
+	RateBps    float64 // 0 = infinite
+	QueueBytes int     // per direction; 0 = 256 KiB default
+}
+
+const defaultQueueBytes = 256 << 10
+
+// Link is a full-duplex point-to-point link with serialization delay,
+// propagation delay, and a finite per-direction queue.
+type Link struct {
+	eng  *sim.Engine
+	a, b *Port
+	cfg  LinkConfig
+
+	busyUntil [2]sim.Time
+	Drops     uint64
+}
+
+// Connect creates a link between new ports aPort on a and bPort on b.
+func Connect(eng *sim.Engine, a Node, aPort uint32, b Node, bPort uint32, cfg LinkConfig) *Link {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = defaultQueueBytes
+	}
+	l := &Link{eng: eng, cfg: cfg}
+	pa := &Port{ID: aPort, Owner: a, Link: l}
+	pb := &Port{ID: bPort, Owner: b, Link: l}
+	pa.peer, pb.peer = pb, pa
+	l.a, l.b = pa, pb
+	a.attachPort(pa)
+	b.attachPort(pb)
+	return l
+}
+
+// Ports returns the link's two endpoints.
+func (l *Link) Ports() (*Port, *Port) { return l.a, l.b }
+
+func (l *Link) dir(from *Port) int {
+	if from == l.a {
+		return 0
+	}
+	return 1
+}
+
+func (l *Link) transmit(pkt *packet.Packet, from *Port) {
+	now := l.eng.Now()
+	d := l.dir(from)
+	start := l.busyUntil[d]
+	if start < now {
+		start = now
+	}
+	var txTime time.Duration
+	if l.cfg.RateBps > 0 {
+		txTime = time.Duration(float64(pkt.Size*8) / l.cfg.RateBps * float64(time.Second))
+		// Backlog check: bytes already committed but not yet on the wire.
+		backlog := float64((start - now).Seconds()) * l.cfg.RateBps / 8
+		if int(backlog) > l.cfg.QueueBytes {
+			l.Drops++
+			return
+		}
+	}
+	l.busyUntil[d] = start + txTime
+	to := from.peer
+	l.eng.At(start+txTime+l.cfg.Delay, func() {
+		to.Owner.Receive(pkt, to)
+	})
+}

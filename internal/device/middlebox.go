@@ -1,0 +1,151 @@
+package device
+
+import (
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// Firewall is a stateful middlebox with two ports. A flow must open with a
+// SYN (or, for UDP, be seen from its first packet) to establish state;
+// mid-flow packets without state are rejected. This statefulness is
+// exactly why Scotch's migration must keep a flow pinned to the *same*
+// middlebox instance (paper §5.4): re-routing an established flow through
+// a different firewall drops it.
+type Firewall struct {
+	name  string
+	eng   *sim.Engine
+	ports [2]*Port
+	nport int
+
+	Delay time.Duration // per-packet processing latency
+
+	established map[netaddr.FlowKey]bool
+	Passed      uint64
+	Rejected    uint64
+}
+
+// NewFirewall creates a firewall. Connect its two ports with Connect; the
+// first connected port is "upstream" (S_U side), the second "downstream"
+// (S_D side).
+func NewFirewall(eng *sim.Engine, name string, delay time.Duration) *Firewall {
+	return &Firewall{
+		name:        name,
+		eng:         eng,
+		Delay:       delay,
+		established: make(map[netaddr.FlowKey]bool),
+	}
+}
+
+// Name implements Node.
+func (f *Firewall) Name() string { return f.name }
+
+func (f *Firewall) attachPort(p *Port) {
+	if f.nport < 2 {
+		f.ports[f.nport] = p
+		f.nport++
+	}
+}
+
+// StateCount returns the number of established flow entries.
+func (f *Firewall) StateCount() int { return len(f.established) }
+
+// Receive implements Node: check/establish flow state, then forward out of
+// the other port after the processing delay.
+func (f *Firewall) Receive(pkt *packet.Packet, port *Port) {
+	key := pkt.FlowKey()
+	opening := pkt.TCP != nil && pkt.TCP.Flags&packet.FlagSYN != 0 && pkt.TCP.Flags&packet.FlagACK == 0
+	if pkt.UDP != nil && pkt.Meta.Seq == 0 {
+		opening = true
+	}
+	if !f.established[key] && !f.established[key.Reverse()] {
+		if !opening {
+			f.Rejected++
+			return
+		}
+		f.established[key] = true
+	}
+	f.Passed++
+	out := f.other(port)
+	if out == nil {
+		return
+	}
+	f.eng.Schedule(f.Delay, func() { out.Send(pkt, 0) })
+}
+
+func (f *Firewall) other(p *Port) *Port {
+	switch p {
+	case f.ports[0]:
+		return f.ports[1]
+	case f.ports[1]:
+		return f.ports[0]
+	}
+	return nil
+}
+
+// LoadBalancer is a stateful L4 load balancer middlebox: it maps each new
+// flow to a backend and rewrites the destination address. Like the
+// firewall it keeps per-flow state, so it participates in the same policy
+// consistency argument.
+type LoadBalancer struct {
+	name  string
+	eng   *sim.Engine
+	ports [2]*Port
+	nport int
+
+	VIP      netaddr.IPv4
+	Backends []netaddr.IPv4
+	Delay    time.Duration
+
+	mapping map[netaddr.FlowKey]netaddr.IPv4
+	Passed  uint64
+}
+
+// NewLoadBalancer creates a load balancer for the given virtual IP.
+func NewLoadBalancer(eng *sim.Engine, name string, vip netaddr.IPv4, backends []netaddr.IPv4, delay time.Duration) *LoadBalancer {
+	return &LoadBalancer{
+		name: name, eng: eng, VIP: vip, Backends: backends, Delay: delay,
+		mapping: make(map[netaddr.FlowKey]netaddr.IPv4),
+	}
+}
+
+// Name implements Node.
+func (lb *LoadBalancer) Name() string { return lb.name }
+
+func (lb *LoadBalancer) attachPort(p *Port) {
+	if lb.nport < 2 {
+		lb.ports[lb.nport] = p
+		lb.nport++
+	}
+}
+
+// Receive implements Node.
+func (lb *LoadBalancer) Receive(pkt *packet.Packet, port *Port) {
+	key := pkt.FlowKey()
+	if pkt.IP.Dst == lb.VIP && len(lb.Backends) > 0 {
+		backend, ok := lb.mapping[key]
+		if !ok {
+			backend = lb.Backends[key.Hash()%uint64(len(lb.Backends))]
+			lb.mapping[key] = backend
+		}
+		pkt.IP.Dst = backend
+	}
+	lb.Passed++
+	out := lb.other(port)
+	if out == nil {
+		return
+	}
+	lb.eng.Schedule(lb.Delay, func() { out.Send(pkt, 0) })
+}
+
+func (lb *LoadBalancer) other(p *Port) *Port {
+	switch p {
+	case lb.ports[0]:
+		return lb.ports[1]
+	case lb.ports[1]:
+		return lb.ports[0]
+	}
+	return nil
+}

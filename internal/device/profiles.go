@@ -1,0 +1,136 @@
+package device
+
+import "time"
+
+// Profile captures the performance envelope of one switch model. The
+// constants below are calibrated against the measurements in the paper
+// (§3.2, §6.1, §6.2); DESIGN.md §5 documents the calibration and the OCR
+// ambiguities it resolves.
+type Profile struct {
+	Name string
+
+	// Data plane.
+	DataPlanePPS float64 // flow-table lookup/forward capacity, packets/s
+	DataQueue    int     // ingress queue, packets
+
+	// OpenFlow Agent: Packet-In generation.
+	PacketInRate  float64 // Packet-In messages/s the OFA can emit
+	PacketInQueue int     // packets awaiting Packet-In encapsulation
+
+	// OpenFlow Agent: rule insertion. The loss-free rate applies while
+	// the insertion queue is empty; under backlog the OFA thrashes and
+	// serves at the (lower) overload rate — this reproduces Fig. 9, where
+	// the Pica8's successful insertion rate *falls* once the attempted
+	// rate passes the loss-free point, then flattens.
+	RuleInsertRate   float64
+	RuleOverloadRate float64
+	RuleQueue        int
+
+	TableCapacity int // TCAM entries per table; 0 = unlimited
+	NumTables     int
+
+	// CtrlDelay is the one-way latency of the switch-controller channel.
+	CtrlDelay time.Duration
+
+	// Data-path/control-path interaction (Fig. 10): while the OFA writes
+	// rules into the TCAM the forwarding pipeline stalls. Below StallKnee
+	// inserts/s the stall fraction ramps linearly to StallLow; past the
+	// knee the pipeline collapses to a stall fraction of StallHigh. A
+	// packet arriving during a stall is dropped.
+	StallKnee float64
+	StallLow  float64
+	StallHigh float64
+}
+
+// StallFraction returns the fraction of time the data path is blocked by
+// TCAM writes occurring at insertRate rules/s.
+func (p *Profile) StallFraction(insertRate float64) float64 {
+	if p.StallKnee <= 0 || insertRate <= 0 {
+		return 0
+	}
+	if insertRate <= p.StallKnee {
+		return insertRate / p.StallKnee * p.StallLow
+	}
+	f := p.StallHigh + (insertRate-p.StallKnee)/p.StallKnee*0.05
+	if f > 0.98 {
+		f = 0.98
+	}
+	return f
+}
+
+// Pica8Profile models the Pica8 Pronto 3780 (10 GbE, OpenFlow 1.2+,
+// tunnels and multiple tables). Calibration (DESIGN.md §5): OFA Packet-In
+// generation saturates near 190 msgs/s (Fig. 4); rule insertion is
+// loss-free to 2000/s and degrades to ~1000/s when overdriven (Fig. 9);
+// the data path collapses once insertions exceed ~1300/s (Fig. 10).
+func Pica8Profile() Profile {
+	return Profile{
+		Name:             "pica8-pronto-3780",
+		DataPlanePPS:     1.5e6,
+		DataQueue:        512,
+		PacketInRate:     190,
+		PacketInQueue:    128,
+		RuleInsertRate:   2000,
+		RuleOverloadRate: 1000,
+		RuleQueue:        256,
+		TableCapacity:    4000,
+		NumTables:        4,
+		CtrlDelay:        500 * time.Microsecond,
+		StallKnee:        1300,
+		StallLow:         0.04,
+		StallHigh:        0.90,
+	}
+}
+
+// ProcurveProfile models the HP Procurve 6600 (1 GbE, OpenFlow 1.0). Its
+// OFA has roughly 2.5x the Pica8's Packet-In throughput (Fig. 3 ordering)
+// but the switch lacks tunnels and multiple flow tables, which is why the
+// paper (and this reproduction) builds Scotch on the Pica8.
+func ProcurveProfile() Profile {
+	return Profile{
+		Name:             "hp-procurve-6600",
+		DataPlanePPS:     1.5e5,
+		DataQueue:        512,
+		PacketInRate:     480,
+		PacketInQueue:    128,
+		RuleInsertRate:   1000,
+		RuleOverloadRate: 500,
+		RuleQueue:        128,
+		TableCapacity:    1500,
+		NumTables:        1,
+		CtrlDelay:        500 * time.Microsecond,
+		StallKnee:        600,
+		StallLow:         0.04,
+		StallHigh:        0.85,
+	}
+}
+
+// OVSProfile models Open vSwitch on a Xeon E5-2650 host: an OFA one to two
+// orders of magnitude faster than the hardware switches (Fig. 3 shows near
+// zero flow failure across the attack sweep) but a software data plane of
+// a few hundred kpps.
+func OVSProfile() Profile {
+	return Profile{
+		Name:             "open-vswitch",
+		DataPlanePPS:     3.0e5,
+		DataQueue:        1024,
+		PacketInRate:     10000,
+		PacketInQueue:    2048,
+		RuleInsertRate:   5000,
+		RuleOverloadRate: 4000,
+		RuleQueue:        2048,
+		TableCapacity:    0, // software tables, effectively unbounded
+		NumTables:        4,
+		CtrlDelay:        200 * time.Microsecond,
+		StallKnee:        0, // no TCAM; insertions do not stall the datapath
+	}
+}
+
+// Profiles returns the calibrated switch models by name.
+func Profiles() map[string]Profile {
+	return map[string]Profile{
+		"pica8":    Pica8Profile(),
+		"procurve": ProcurveProfile(),
+		"ovs":      OVSProfile(),
+	}
+}

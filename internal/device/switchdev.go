@@ -1,0 +1,413 @@
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"scotch/internal/flowtable"
+	"scotch/internal/metrics"
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// SwitchStats counts a switch's activity.
+type SwitchStats struct {
+	DataIn        uint64 // packets offered to the data plane
+	DataForwarded uint64 // packets that matched and were forwarded
+	DataDropped   uint64 // data-plane queue overflows
+	StallDrops    uint64 // packets lost while the TCAM was being written
+	Misses        uint64 // table misses (Packet-In candidates)
+
+	PacketInSent    uint64 // Packet-In messages emitted by the OFA
+	PacketInDropped uint64 // misses dropped because the OFA was saturated
+
+	FlowModReceived uint64
+	RulesInstalled  uint64
+	RulesDeleted    uint64
+	InsertQueueDrop uint64 // FlowMods lost to OFA queue overflow
+	TableFull       uint64 // inserts rejected by TCAM capacity
+}
+
+// Switch is a simulated OpenFlow switch: a data plane driven by a flow
+// table pipeline plus an OFA connecting it to the controller.
+type Switch struct {
+	name    string
+	DPID    uint64
+	eng     *sim.Engine
+	Profile Profile
+
+	Pipeline *flowtable.Pipeline
+	ports    map[uint32]*Port
+	LocalIP  netaddr.IPv4 // tunnel endpoint address (GRE outer)
+
+	dataSrv     *sim.Server
+	pktInSrv    *sim.Server
+	ruleSrv     *sim.Server
+	insertMeter *metrics.RateMeter
+
+	ctrl   func(dpid uint64, msg []byte) // transmit to controller
+	xid    uint32
+	failed bool
+
+	Stats SwitchStats
+
+	// OnForward, when set, observes every (packet, outPort) the data
+	// plane emits; the capture subsystem uses it.
+	OnForward func(pkt *packet.Packet, out *Port)
+}
+
+type dataItem struct {
+	pkt  *packet.Packet
+	port *Port
+}
+
+// NewSwitch creates a switch with the given profile and starts its expiry
+// sweeper.
+func NewSwitch(eng *sim.Engine, name string, dpid uint64, prof Profile) *Switch {
+	sw := &Switch{
+		name:        name,
+		DPID:        dpid,
+		eng:         eng,
+		Profile:     prof,
+		Pipeline:    flowtable.NewPipeline(prof.NumTables, prof.TableCapacity),
+		ports:       make(map[uint32]*Port),
+		insertMeter: metrics.NewRateMeter(time.Second, 10),
+	}
+	sw.dataSrv = sim.NewServer(eng, prof.DataPlanePPS, prof.DataQueue, sw.processData)
+	sw.dataSrv.OnDrop(func(any) { sw.Stats.DataDropped++ })
+	sw.pktInSrv = sim.NewServer(eng, prof.PacketInRate, prof.PacketInQueue, sw.emitPacketIn)
+	sw.pktInSrv.OnDrop(func(any) { sw.Stats.PacketInDropped++ })
+	sw.ruleSrv = sim.NewServer(eng, prof.RuleInsertRate, prof.RuleQueue, sw.processRule)
+	sw.ruleSrv.OnDrop(func(any) { sw.Stats.InsertQueueDrop++ })
+	eng.Every(time.Second, sw.sweepExpired)
+	return sw
+}
+
+// Name implements Node.
+func (sw *Switch) Name() string { return sw.name }
+
+func (sw *Switch) attachPort(p *Port) { sw.ports[p.ID] = p }
+
+// Port returns the port with the given id, or nil.
+func (sw *Switch) Port(id uint32) *Port { return sw.ports[id] }
+
+// SetController registers the transmit function toward the controller.
+func (sw *Switch) SetController(fn func(dpid uint64, msg []byte)) { sw.ctrl = fn }
+
+// Fail simulates a crash: the switch stops forwarding and stops answering
+// the controller (heartbeats included). Used by the vSwitch failover
+// experiments.
+func (sw *Switch) Fail() { sw.failed = true }
+
+// Failed reports whether Fail was called.
+func (sw *Switch) Failed() bool { return sw.failed }
+
+// Receive implements Node: a packet arrives on a data port.
+func (sw *Switch) Receive(pkt *packet.Packet, port *Port) {
+	if sw.failed {
+		return
+	}
+	sw.Stats.DataIn++
+	sw.dataSrv.Submit(dataItem{pkt, port})
+}
+
+// InsertBacklog returns the number of FlowMods queued at the OFA.
+func (sw *Switch) InsertBacklog() int { return sw.ruleSrv.QueueLen() }
+
+// processData is the data-plane lookup stage.
+func (sw *Switch) processData(v any) {
+	it := v.(dataItem)
+	now := sw.eng.Now()
+	// TCAM write stall (Fig. 10): drop the packet with probability equal
+	// to the fraction of time the pipeline is blocked by rule insertions.
+	if stall := sw.Profile.StallFraction(sw.insertMeter.Rate(now)); stall > 0 &&
+		sw.eng.Rand().Float64() < stall {
+		sw.Stats.StallDrops++
+		return
+	}
+	res := sw.Pipeline.Process(it.pkt, it.port.ID, now)
+	if res.Miss {
+		sw.Stats.Misses++
+		sw.pktInSrv.Submit(it) // OFA Packet-In generation is rate limited
+		return
+	}
+	sw.Stats.DataForwarded++
+	sw.execute(it.pkt, it.port.ID, res.Actions)
+}
+
+// execute runs an action list on a packet, expanding groups.
+func (sw *Switch) execute(pkt *packet.Packet, inPort uint32, actions []openflow.Action) {
+	sw.executeCtx(pkt, inPort, actions, 0, 0)
+}
+
+func (sw *Switch) executeCtx(pkt *packet.Packet, inPort uint32, actions []openflow.Action, tunnelKey uint64, depth int) {
+	if depth > 4 {
+		return // group recursion guard
+	}
+	for i := range actions {
+		a := &actions[i]
+		switch a.Type {
+		case openflow.ActionTypePushMPLS:
+			pkt.PushMPLS(a.MPLSLabel)
+		case openflow.ActionTypePopMPLS:
+			if _, err := pkt.PopMPLS(); err != nil {
+				return
+			}
+		case openflow.ActionTypeSetField:
+			switch a.Field {
+			case 34: // MPLS label
+				if len(pkt.MPLS) > 0 {
+					pkt.MPLS[0].Label = a.MPLSLabel
+				}
+			case 38: // tunnel id
+				tunnelKey = a.TunnelID
+			}
+		case openflow.ActionTypeGroup:
+			g := sw.Pipeline.Groups.Get(a.GroupID)
+			if g == nil {
+				continue
+			}
+			switch g.Type {
+			case openflow.GroupTypeSelect:
+				if b := g.SelectBucket(pkt.FlowKey().Hash()); b != nil {
+					sw.executeCtx(pkt, inPort, b.Actions, tunnelKey, depth+1)
+				}
+			case openflow.GroupTypeAll:
+				for j := range g.Buckets {
+					sw.executeCtx(pkt.Clone(), inPort, g.Buckets[j].Actions, tunnelKey, depth+1)
+				}
+			}
+		case openflow.ActionTypeOutput:
+			if a.Port == openflow.PortController {
+				sw.pktInSrv.Submit(dataItem{pkt.Clone(), &Port{ID: inPort, Owner: sw}})
+				continue
+			}
+			out := sw.ports[a.Port]
+			if out == nil {
+				continue
+			}
+			sent := pkt.Clone()
+			if sw.OnForward != nil {
+				sw.OnForward(sent, out)
+			}
+			out.Send(sent, tunnelKey)
+		}
+	}
+}
+
+// emitPacketIn is the OFA's Packet-In generation stage.
+func (sw *Switch) emitPacketIn(v any) {
+	it := v.(dataItem)
+	sw.Stats.PacketInSent++
+	m := openflow.Match{Fields: openflow.FieldInPort, InPort: it.port.ID}
+	if it.pkt.Meta.TunnelID != 0 {
+		m.Fields |= openflow.FieldTunnelID
+		m.TunnelID = it.pkt.Meta.TunnelID
+	}
+	data := it.pkt.Marshal()
+	msg := &openflow.PacketIn{
+		BufferID: 0xffffffff,
+		TotalLen: uint16(it.pkt.Size),
+		Reason:   openflow.ReasonNoMatch,
+		TableID:  0,
+		Cookie:   uint64(it.pkt.Meta.InnerKey), // Scotch inner label / GRE key
+		Match:    m,
+		Data:     data,
+	}
+	sw.sendToController(msg)
+}
+
+func (sw *Switch) sendToController(m openflow.Message) {
+	sw.xid++
+	sw.sendToControllerXID(m, sw.xid)
+}
+
+// sendToControllerXID transmits with an explicit transaction id, used for
+// replies, which must echo the request's xid.
+func (sw *Switch) sendToControllerXID(m openflow.Message, xid uint32) {
+	if sw.ctrl == nil {
+		return
+	}
+	b, err := openflow.Marshal(m, xid)
+	if err != nil {
+		panic(fmt.Sprintf("device: marshal %v: %v", m.Type(), err))
+	}
+	send := sw.ctrl
+	dpid := sw.DPID
+	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { send(dpid, b) })
+}
+
+// DeliverControl accepts an encoded controller-to-switch message; it is
+// processed after the control channel's one-way delay.
+func (sw *Switch) DeliverControl(b []byte) {
+	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { sw.handleControl(b) })
+}
+
+type barrierMarker struct{ xid uint32 }
+
+func (sw *Switch) handleControl(b []byte) {
+	if sw.failed {
+		return
+	}
+	msg, xid, err := openflow.Unmarshal(b)
+	if err != nil {
+		return
+	}
+	switch m := msg.(type) {
+	case *openflow.Hello:
+		sw.sendToControllerXID(&openflow.Hello{}, xid)
+	case *openflow.EchoRequest:
+		sw.sendToControllerXID(&openflow.EchoReply{Data: m.Data}, xid)
+	case *openflow.FeaturesRequest:
+		sw.sendToControllerXID(&openflow.FeaturesReply{
+			DatapathID: sw.DPID,
+			NTables:    uint8(len(sw.Pipeline.Tables)),
+		}, xid)
+	case *openflow.FlowMod:
+		sw.Stats.FlowModReceived++
+		sw.ruleSrv.Submit(m)
+		sw.updateRuleRate()
+	case *openflow.GroupMod:
+		// Group churn is rare (overlay reconfiguration); apply directly.
+		if err := sw.Pipeline.Groups.Apply(m); err != nil {
+			sw.sendToController(&openflow.Error{ErrType: openflow.ErrTypeGroupModFailed})
+		}
+	case *openflow.PacketOut:
+		if pkt, err := packet.Parse(m.Data); err == nil {
+			sw.execute(pkt, m.InPort, m.Actions)
+		}
+	case *openflow.MultipartRequest:
+		sw.replyFlowStats(m, xid)
+	case *openflow.BarrierRequest:
+		sw.ruleSrv.Submit(barrierMarker{xid})
+	}
+}
+
+// processRule is the OFA's rule-installation stage.
+func (sw *Switch) processRule(v any) {
+	defer sw.updateRuleRate()
+	now := sw.eng.Now()
+	switch m := v.(type) {
+	case barrierMarker:
+		sw.sendToControllerXID(&openflow.BarrierReply{}, m.xid)
+		return
+	case *openflow.FlowMod:
+		sw.insertMeter.Add(now, 1)
+		tbl := sw.Pipeline.Table(m.TableID)
+		if tbl == nil {
+			return
+		}
+		switch m.Command {
+		case openflow.FlowAdd, openflow.FlowModify:
+			rule := &flowtable.Rule{
+				Priority:     m.Priority,
+				Match:        m.Match,
+				Instructions: m.Instructions,
+				IdleTimeout:  time.Duration(m.IdleTimeout) * time.Second,
+				HardTimeout:  time.Duration(m.HardTimeout) * time.Second,
+				Cookie:       m.Cookie,
+				Flags:        m.Flags,
+				Installed:    now,
+			}
+			if err := tbl.Insert(rule); err != nil {
+				sw.Stats.TableFull++
+				sw.sendToController(&openflow.Error{
+					ErrType: openflow.ErrTypeFlowModFailed,
+					Code:    openflow.ErrCodeTableFull,
+				})
+				return
+			}
+			sw.Stats.RulesInstalled++
+		case openflow.FlowDelete, openflow.FlowDeleteStrict:
+			removed := tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
+			sw.Stats.RulesDeleted += uint64(len(removed))
+			for _, r := range removed {
+				sw.notifyRemoved(r, openflow.RemovedDelete, now)
+			}
+		}
+	}
+}
+
+// updateRuleRate switches the OFA between its loss-free and overloaded
+// insertion regimes depending on backlog (see Profile).
+func (sw *Switch) updateRuleRate() {
+	if sw.ruleSrv.QueueLen() > 0 {
+		sw.ruleSrv.SetRate(sw.Profile.RuleOverloadRate)
+	} else {
+		sw.ruleSrv.SetRate(sw.Profile.RuleInsertRate)
+	}
+}
+
+func (sw *Switch) sweepExpired() {
+	now := sw.eng.Now()
+	for _, tbl := range sw.Pipeline.Tables {
+		rules, reasons := tbl.Expire(now)
+		for i, r := range rules {
+			sw.notifyRemoved(r, reasons[i], now)
+		}
+	}
+}
+
+func (sw *Switch) notifyRemoved(r *flowtable.Rule, reason uint8, now sim.Time) {
+	if r.Flags&openflow.FlagSendFlowRem == 0 {
+		return
+	}
+	sw.sendToController(&openflow.FlowRemoved{
+		Cookie:      r.Cookie,
+		Priority:    r.Priority,
+		Reason:      reason,
+		TableID:     r.TableID,
+		DurationSec: uint32((now - r.Installed) / time.Second),
+		PacketCount: r.Packets,
+		ByteCount:   r.Bytes,
+		Match:       r.Match,
+	})
+}
+
+func (sw *Switch) replyFlowStats(req *openflow.MultipartRequest, xid uint32) {
+	if req.MPType != openflow.MultipartFlow || req.Flow == nil {
+		return
+	}
+	now := sw.eng.Now()
+	reply := &openflow.MultipartReply{MPType: openflow.MultipartFlow}
+	for _, tbl := range sw.Pipeline.Tables {
+		if req.Flow.TableID != 0xff && tbl.ID != req.Flow.TableID {
+			continue
+		}
+		for _, r := range tbl.Rules() {
+			if req.Flow.Match.Fields != 0 && !req.Flow.Match.Equal(&r.Match) {
+				continue
+			}
+			reply.Flows = append(reply.Flows, openflow.FlowStats{
+				TableID:      r.TableID,
+				DurationSec:  uint32((now - r.Installed) / time.Second),
+				DurationNsec: uint32((now - r.Installed) % time.Second),
+				Priority:     r.Priority,
+				Cookie:       r.Cookie,
+				PacketCount:  r.Packets,
+				ByteCount:    r.Bytes,
+				Match:        r.Match,
+			})
+		}
+	}
+	// Chunk large tables across multipart parts so each message stays
+	// within the protocol's frame limit (OFPMPF_REPLY_MORE semantics).
+	const chunk = 400
+	for start := 0; ; start += chunk {
+		end := start + chunk
+		if end > len(reply.Flows) {
+			end = len(reply.Flows)
+		}
+		part := &openflow.MultipartReply{
+			MPType: openflow.MultipartFlow,
+			More:   end < len(reply.Flows),
+			Flows:  reply.Flows[start:end],
+		}
+		sw.sendToControllerXID(part, xid)
+		if end == len(reply.Flows) {
+			break
+		}
+	}
+}

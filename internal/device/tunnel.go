@@ -1,0 +1,153 @@
+package device
+
+import (
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// TunnelType selects the encapsulation used by a tunnel.
+type TunnelType int
+
+// Supported encapsulations.
+const (
+	TunnelMPLS TunnelType = iota
+	TunnelGRE
+)
+
+func (t TunnelType) String() string {
+	if t == TunnelGRE {
+		return "gre"
+	}
+	return "mpls"
+}
+
+// TunnelConfig describes one overlay tunnel. Tunnels ride the underlying
+// data plane; the simulator models that path as an aggregate delay and
+// bandwidth (the sum over the physical hops computed at setup time), while
+// still performing real encapsulation and decapsulation at the endpoints.
+type TunnelConfig struct {
+	Type       TunnelType
+	ID         uint64 // outer MPLS label / GRE tunnel identity at the receiver
+	Delay      time.Duration
+	RateBps    float64
+	QueueBytes int
+	// LocalIP/RemoteIP are the GRE outer addresses (A side is Local).
+	LocalIP, RemoteIP netaddr.IPv4
+	// StripInnerA/StripInnerB make the endpoint pop the *inner* MPLS
+	// label (the Scotch ingress-port tag) into packet metadata at decap,
+	// as the paper's mesh vSwitches do before emitting Packet-In.
+	StripInnerA, StripInnerB bool
+}
+
+// Tunnel is a point-to-point overlay tunnel between two switch ports.
+type Tunnel struct {
+	Cfg  TunnelConfig
+	eng  *sim.Engine
+	a, b *Port
+
+	busyUntil [2]sim.Time
+	Drops     uint64
+	Encapped  uint64
+	Decapped  uint64
+}
+
+// ConnectTunnel creates a tunnel between new logical ports on a and b.
+func ConnectTunnel(eng *sim.Engine, a Node, aPort uint32, b Node, bPort uint32, cfg TunnelConfig) *Tunnel {
+	if cfg.QueueBytes == 0 {
+		cfg.QueueBytes = defaultQueueBytes
+	}
+	t := &Tunnel{Cfg: cfg, eng: eng}
+	pa := &Port{ID: aPort, Owner: a, Tunnel: t}
+	pb := &Port{ID: bPort, Owner: b, Tunnel: t}
+	pa.peer, pb.peer = pb, pa
+	t.a, t.b = pa, pb
+	a.attachPort(pa)
+	b.attachPort(pb)
+	return t
+}
+
+// Ports returns the tunnel's two endpoints (A side first).
+func (t *Tunnel) Ports() (*Port, *Port) { return t.a, t.b }
+
+func (t *Tunnel) dir(from *Port) int {
+	if from == t.a {
+		return 0
+	}
+	return 1
+}
+
+// transmit encapsulates and carries the packet to the far end, where it is
+// decapsulated before delivery.
+func (t *Tunnel) transmit(pkt *packet.Packet, from *Port, tunnelKey uint64) {
+	switch t.Cfg.Type {
+	case TunnelMPLS:
+		// The inner (ingress port) label, if any, was pushed by the flow
+		// rule; the tunnel port pushes the outer transport label.
+		pkt.PushMPLS(uint32(t.Cfg.ID))
+	case TunnelGRE:
+		local, remote := t.Cfg.LocalIP, t.Cfg.RemoteIP
+		if from == t.b {
+			local, remote = remote, local
+		}
+		if err := pkt.EncapGRE(local, remote, uint32(tunnelKey)); err != nil {
+			t.Drops++
+			return
+		}
+	}
+	t.Encapped++
+
+	now := t.eng.Now()
+	d := t.dir(from)
+	start := t.busyUntil[d]
+	if start < now {
+		start = now
+	}
+	var txTime time.Duration
+	if t.Cfg.RateBps > 0 {
+		txTime = time.Duration(float64(pkt.Size*8) / t.Cfg.RateBps * float64(time.Second))
+		backlog := (start - now).Seconds() * t.Cfg.RateBps / 8
+		if int(backlog) > t.Cfg.QueueBytes {
+			t.Drops++
+			return
+		}
+	}
+	t.busyUntil[d] = start + txTime
+	to := from.peer
+	t.eng.At(start+txTime+t.Cfg.Delay, func() {
+		t.deliver(pkt, to)
+	})
+}
+
+func (t *Tunnel) deliver(pkt *packet.Packet, to *Port) {
+	stripInner := t.Cfg.StripInnerB
+	if to == t.a {
+		stripInner = t.Cfg.StripInnerA
+	}
+	switch t.Cfg.Type {
+	case TunnelMPLS:
+		if _, err := pkt.PopMPLS(); err != nil {
+			t.Drops++
+			return
+		}
+		pkt.Meta.TunnelID = t.Cfg.ID
+		if stripInner && len(pkt.MPLS) > 0 {
+			inner, _ := pkt.PopMPLS()
+			pkt.Meta.InnerKey = inner
+		}
+	case TunnelGRE:
+		key, err := pkt.DecapGRE()
+		if err != nil {
+			t.Drops++
+			return
+		}
+		pkt.Meta.TunnelID = t.Cfg.ID
+		if stripInner {
+			pkt.Meta.InnerKey = key
+		}
+	}
+	t.Decapped++
+	to.Owner.Receive(pkt, to)
+}

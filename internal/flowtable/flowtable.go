@@ -1,0 +1,400 @@
+// Package flowtable implements the OpenFlow switch pipeline state: flow
+// tables with priority matching, masks, timeouts, counters and a capacity
+// limit (modelling finite TCAM), plus the group table with select
+// (flow-hash ECMP) semantics that Scotch uses for load balancing across the
+// vSwitch mesh.
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// ErrTableFull is returned by Insert when the table is at capacity; the
+// switch reports it to the controller as OFPFMFC_TABLE_FULL.
+var ErrTableFull = errors.New("flowtable: table full")
+
+// Rule is one installed flow entry.
+type Rule struct {
+	TableID      uint8
+	Priority     uint16
+	Match        openflow.Match
+	Instructions []openflow.Instruction
+	IdleTimeout  time.Duration // 0 = never expires
+	HardTimeout  time.Duration
+	Cookie       uint64
+	Flags        uint16
+
+	Packets, Bytes uint64
+	Installed      sim.Time
+	LastHit        sim.Time
+}
+
+// Expired reports whether the rule has timed out at virtual time now and,
+// if so, with which flow-removed reason.
+func (r *Rule) Expired(now sim.Time) (bool, uint8) {
+	if r.HardTimeout > 0 && now-r.Installed >= r.HardTimeout {
+		return true, openflow.RemovedHardTimeout
+	}
+	if r.IdleTimeout > 0 {
+		ref := r.LastHit
+		if ref < r.Installed {
+			ref = r.Installed
+		}
+		if now-ref >= r.IdleTimeout {
+			return true, openflow.RemovedIdleTimeout
+		}
+	}
+	return false, 0
+}
+
+func (r *Rule) hit(p *packet.Packet, now sim.Time) {
+	r.Packets++
+	r.Bytes += uint64(p.Size)
+	r.LastHit = now
+}
+
+// Matches reports whether match m selects packet p arriving on inPort.
+// Field semantics follow OpenFlow 1.3: transport ports require the
+// corresponding IP protocol, the MPLS label matches the outermost stack
+// entry, and tunnel_id matches the packet's decapsulation metadata.
+func Matches(m *openflow.Match, p *packet.Packet, inPort uint32) bool {
+	f := m.Fields
+	if f.Has(openflow.FieldInPort) && m.InPort != inPort {
+		return false
+	}
+	if f.Has(openflow.FieldEthType) && m.EthType != p.Eth.EtherType {
+		return false
+	}
+	if f.Has(openflow.FieldMPLSLabel) {
+		if len(p.MPLS) == 0 || p.MPLS[0].Label != m.MPLSLabel {
+			return false
+		}
+	}
+	if f.Has(openflow.FieldTunnelID) && m.TunnelID != p.Meta.TunnelID {
+		return false
+	}
+	// IP and transport fields match the innermost (post-decap) headers.
+	if f.Has(openflow.FieldIPProto) && m.IPProto != p.IP.Protocol {
+		return false
+	}
+	if f.Has(openflow.FieldIPv4Src) && !p.IP.Src.In(m.IPv4Src, effMask(m.IPv4SrcMask)) {
+		return false
+	}
+	if f.Has(openflow.FieldIPv4Dst) && !p.IP.Dst.In(m.IPv4Dst, effMask(m.IPv4DstMask)) {
+		return false
+	}
+	if f.Has(openflow.FieldTCPSrc) {
+		if p.IP.Protocol != netaddr.ProtoTCP || p.TCP == nil || p.TCP.SrcPort != m.TCPSrc {
+			return false
+		}
+	}
+	if f.Has(openflow.FieldTCPDst) {
+		if p.IP.Protocol != netaddr.ProtoTCP || p.TCP == nil || p.TCP.DstPort != m.TCPDst {
+			return false
+		}
+	}
+	if f.Has(openflow.FieldUDPSrc) {
+		if p.IP.Protocol != netaddr.ProtoUDP || p.UDP == nil || p.UDP.SrcPort != m.UDPSrc {
+			return false
+		}
+	}
+	if f.Has(openflow.FieldUDPDst) {
+		if p.IP.Protocol != netaddr.ProtoUDP || p.UDP == nil || p.UDP.DstPort != m.UDPDst {
+			return false
+		}
+	}
+	return true
+}
+
+func effMask(m uint32) uint32 {
+	if m == 0 {
+		return 0xffffffff
+	}
+	return m
+}
+
+// ExactMatch builds the exact 5-tuple match for a packet's flow, the rule
+// shape reactive forwarding installs.
+func ExactMatch(k netaddr.FlowKey) openflow.Match {
+	m := openflow.Match{
+		Fields:  openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Src | openflow.FieldIPv4Dst,
+		EthType: packet.EtherTypeIPv4,
+		IPProto: k.Proto,
+		IPv4Src: k.Src,
+		IPv4Dst: k.Dst,
+	}
+	switch k.Proto {
+	case netaddr.ProtoTCP:
+		m.Fields |= openflow.FieldTCPSrc | openflow.FieldTCPDst
+		m.TCPSrc, m.TCPDst = k.SrcPort, k.DstPort
+	case netaddr.ProtoUDP:
+		m.Fields |= openflow.FieldUDPSrc | openflow.FieldUDPDst
+		m.UDPSrc, m.UDPDst = k.SrcPort, k.DstPort
+	}
+	return m
+}
+
+// Table is a single flow table: rules ordered by priority (descending),
+// FIFO within equal priority.
+type Table struct {
+	ID       uint8
+	Capacity int // maximum number of rules; 0 means unlimited
+	rules    []*Rule
+}
+
+// Len returns the number of installed rules.
+func (t *Table) Len() int { return len(t.rules) }
+
+// Rules returns the rules in match order. The slice is shared; callers
+// must not modify it.
+func (t *Table) Rules() []*Rule { return t.rules }
+
+// Insert adds a rule. A rule with an identical match and priority replaces
+// the existing entry (OpenFlow add semantics) without consuming extra
+// capacity. Returns ErrTableFull when at capacity.
+func (t *Table) Insert(r *Rule) error {
+	r.TableID = t.ID
+	for i, old := range t.rules {
+		if old.Priority == r.Priority && old.Match.Equal(&r.Match) {
+			t.rules[i] = r
+			return nil
+		}
+	}
+	if t.Capacity > 0 && len(t.rules) >= t.Capacity {
+		return ErrTableFull
+	}
+	// Insert after all rules with priority >= r.Priority to keep FIFO
+	// order within a priority level.
+	i := sort.Search(len(t.rules), func(i int) bool {
+		return t.rules[i].Priority < r.Priority
+	})
+	t.rules = append(t.rules, nil)
+	copy(t.rules[i+1:], t.rules[i:])
+	t.rules[i] = r
+	return nil
+}
+
+// Lookup returns the highest-priority rule matching the packet, or nil on
+// table miss. Counters are not updated; the pipeline does that once per
+// processed packet.
+func (t *Table) Lookup(p *packet.Packet, inPort uint32) *Rule {
+	for _, r := range t.rules {
+		if Matches(&r.Match, p, inPort) {
+			return r
+		}
+	}
+	return nil
+}
+
+// Delete removes rules. With strict set, only the rule with exactly the
+// given match and priority is removed; otherwise every rule whose match
+// equals m is removed regardless of priority. Removed rules are returned
+// so the switch can emit flow-removed notifications.
+func (t *Table) Delete(m *openflow.Match, priority uint16, strict bool) []*Rule {
+	var removed []*Rule
+	keep := t.rules[:0]
+	for _, r := range t.rules {
+		del := r.Match.Equal(m) && (!strict || r.Priority == priority)
+		if del {
+			removed = append(removed, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	t.rules = keep
+	return removed
+}
+
+// DeleteWhere removes every rule for which fn returns true.
+func (t *Table) DeleteWhere(fn func(*Rule) bool) []*Rule {
+	var removed []*Rule
+	keep := t.rules[:0]
+	for _, r := range t.rules {
+		if fn(r) {
+			removed = append(removed, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	t.rules = keep
+	return removed
+}
+
+// Expire removes timed-out rules at virtual time now, returning them
+// paired with their removal reasons.
+func (t *Table) Expire(now sim.Time) ([]*Rule, []uint8) {
+	var rules []*Rule
+	var reasons []uint8
+	keep := t.rules[:0]
+	for _, r := range t.rules {
+		if exp, reason := r.Expired(now); exp {
+			rules = append(rules, r)
+			reasons = append(reasons, reason)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	t.rules = keep
+	return rules, reasons
+}
+
+// Group is one group-table entry.
+type Group struct {
+	ID      uint32
+	Type    uint8 // openflow.GroupTypeSelect or GroupTypeAll
+	Buckets []openflow.Bucket
+}
+
+// SelectBucket picks the bucket for a flow hash (select semantics). It
+// returns nil when the group has no buckets.
+func (g *Group) SelectBucket(flowHash uint64) *openflow.Bucket {
+	if len(g.Buckets) == 0 {
+		return nil
+	}
+	// Weighted selection: hash chooses a point in the total weight space.
+	var total uint64
+	for i := range g.Buckets {
+		w := uint64(g.Buckets[i].Weight)
+		if w == 0 {
+			w = 1
+		}
+		total += w
+	}
+	point := flowHash % total
+	for i := range g.Buckets {
+		w := uint64(g.Buckets[i].Weight)
+		if w == 0 {
+			w = 1
+		}
+		if point < w {
+			return &g.Buckets[i]
+		}
+		point -= w
+	}
+	return &g.Buckets[len(g.Buckets)-1]
+}
+
+// GroupTable holds a switch's groups.
+type GroupTable struct {
+	groups map[uint32]*Group
+}
+
+// NewGroupTable returns an empty group table.
+func NewGroupTable() *GroupTable {
+	return &GroupTable{groups: make(map[uint32]*Group)}
+}
+
+// Apply executes a GroupMod.
+func (gt *GroupTable) Apply(m *openflow.GroupMod) error {
+	switch m.Command {
+	case openflow.GroupAdd:
+		if _, ok := gt.groups[m.GroupID]; ok {
+			return fmt.Errorf("flowtable: group %d exists", m.GroupID)
+		}
+		gt.groups[m.GroupID] = &Group{ID: m.GroupID, Type: m.GroupType, Buckets: m.Buckets}
+	case openflow.GroupModify:
+		g, ok := gt.groups[m.GroupID]
+		if !ok {
+			return fmt.Errorf("flowtable: group %d unknown", m.GroupID)
+		}
+		g.Type = m.GroupType
+		g.Buckets = m.Buckets
+	case openflow.GroupDelete:
+		delete(gt.groups, m.GroupID)
+	default:
+		return fmt.Errorf("flowtable: unknown group command %d", m.Command)
+	}
+	return nil
+}
+
+// Get returns the group with the given id, or nil.
+func (gt *GroupTable) Get(id uint32) *Group { return gt.groups[id] }
+
+// Len returns the number of groups.
+func (gt *GroupTable) Len() int { return len(gt.groups) }
+
+// Pipeline is the multi-table match pipeline of one switch.
+type Pipeline struct {
+	Tables []*Table
+	Groups *GroupTable
+}
+
+// NewPipeline creates a pipeline with n tables of the given capacity each
+// (0 = unlimited).
+func NewPipeline(n int, capacity int) *Pipeline {
+	pl := &Pipeline{Groups: NewGroupTable()}
+	for i := 0; i < n; i++ {
+		pl.Tables = append(pl.Tables, &Table{ID: uint8(i), Capacity: capacity})
+	}
+	return pl
+}
+
+// Table returns table id, or nil if out of range.
+func (pl *Pipeline) Table(id uint8) *Table {
+	if int(id) >= len(pl.Tables) {
+		return nil
+	}
+	return pl.Tables[id]
+}
+
+// Result is the outcome of pipeline processing for one packet.
+type Result struct {
+	// Actions is the ordered list of apply-actions accumulated across the
+	// pipeline. Empty with Miss=false means "matched, drop".
+	Actions []openflow.Action
+	// Miss is true when some traversed table had no matching rule; the
+	// packet is subject to the switch's table-miss behaviour (Packet-In).
+	Miss bool
+	// MissTable is the table at which the miss occurred.
+	MissTable uint8
+	// Rule is the last rule that matched (nil on first-table miss).
+	Rule *Rule
+}
+
+// Process runs the packet through the pipeline starting at table 0,
+// updating rule counters.
+func (pl *Pipeline) Process(p *packet.Packet, inPort uint32, now sim.Time) Result {
+	var res Result
+	table := uint8(0)
+	for hop := 0; hop <= len(pl.Tables); hop++ {
+		t := pl.Table(table)
+		if t == nil {
+			return res
+		}
+		r := t.Lookup(p, inPort)
+		if r == nil {
+			res.Miss = true
+			res.MissTable = table
+			return res
+		}
+		r.hit(p, now)
+		res.Rule = r
+		next := -1
+		for i := range r.Instructions {
+			in := &r.Instructions[i]
+			switch in.Type {
+			case openflow.InstrApplyActions:
+				res.Actions = append(res.Actions, in.Actions...)
+			case openflow.InstrGotoTable:
+				next = int(in.TableID)
+			}
+		}
+		if next < 0 {
+			return res
+		}
+		if uint8(next) <= table {
+			// Goto must move forward; treat as drop to avoid loops.
+			return Result{Rule: r}
+		}
+		table = uint8(next)
+	}
+	return res
+}

@@ -1,0 +1,154 @@
+package flowtable
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+)
+
+// randomMatch builds a random match over a small universe so collisions
+// and wildcards are common.
+func randomMatch(rng *rand.Rand) openflow.Match {
+	var m openflow.Match
+	if rng.Intn(2) == 0 {
+		m.Fields |= openflow.FieldInPort
+		m.InPort = uint32(rng.Intn(3) + 1)
+	}
+	if rng.Intn(2) == 0 {
+		m.Fields |= openflow.FieldIPv4Src
+		m.IPv4Src = netaddr.MakeIPv4(10, 0, 0, byte(rng.Intn(4)))
+		if rng.Intn(2) == 0 {
+			m.IPv4SrcMask = 0xffffff00
+		}
+	}
+	if rng.Intn(2) == 0 {
+		m.Fields |= openflow.FieldIPv4Dst
+		m.IPv4Dst = netaddr.MakeIPv4(10, 0, 1, byte(rng.Intn(4)))
+	}
+	if rng.Intn(3) == 0 {
+		m.Fields |= openflow.FieldIPProto
+		m.IPProto = netaddr.ProtoTCP
+	}
+	if rng.Intn(3) == 0 {
+		m.Fields |= openflow.FieldTCPDst
+		m.TCPDst = uint16(80 + rng.Intn(2))
+	}
+	return m
+}
+
+func randomPacket(rng *rand.Rand) (*packet.Packet, uint32) {
+	p := packet.NewTCP(
+		netaddr.MakeIPv4(10, 0, 0, byte(rng.Intn(4))),
+		netaddr.MakeIPv4(10, 0, 1, byte(rng.Intn(4))),
+		uint16(1000+rng.Intn(4)), uint16(80+rng.Intn(2)), 0)
+	return p, uint32(rng.Intn(3) + 1)
+}
+
+// TestLookupMatchesBruteForce cross-checks Table.Lookup against a direct
+// scan respecting priority order: the table's internal ordering must never
+// change which rule wins.
+func TestLookupMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		tbl := &Table{}
+		var rules []*Rule
+		n := 1 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			r := &Rule{
+				Priority: uint16(rng.Intn(5)),
+				Match:    randomMatch(rng),
+				Instructions: []openflow.Instruction{
+					openflow.ApplyActions(openflow.OutputAction(uint32(i + 1))),
+				},
+			}
+			if err := tbl.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the table's replace-on-equal semantics.
+			replaced := false
+			for j, old := range rules {
+				if old.Priority == r.Priority && old.Match.Equal(&r.Match) {
+					rules[j] = r
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				rules = append(rules, r)
+			}
+		}
+		for probe := 0; probe < 50; probe++ {
+			p, inPort := randomPacket(rng)
+			got := tbl.Lookup(p, inPort)
+
+			// Brute force: highest priority wins; FIFO within equal
+			// priority (insertion order preserved by the mirror slice).
+			var want *Rule
+			for _, r := range rules {
+				if !Matches(&r.Match, p, inPort) {
+					continue
+				}
+				if want == nil || r.Priority > want.Priority {
+					want = r
+				}
+			}
+			if (got == nil) != (want == nil) {
+				t.Fatalf("trial %d: lookup=%v brute=%v for %v in_port=%d",
+					trial, got, want, p, inPort)
+			}
+			if got != nil && got.Priority != want.Priority {
+				t.Fatalf("trial %d: lookup prio %d, brute prio %d",
+					trial, got.Priority, want.Priority)
+			}
+			if got != nil && !Matches(&got.Match, p, inPort) {
+				t.Fatalf("trial %d: lookup returned non-matching rule", trial)
+			}
+		}
+	}
+}
+
+// TestExpireNeverReturnsLiveRules randomly ages rules and checks the
+// expiry invariant: everything returned is expired, everything kept is
+// not.
+func TestExpireNeverReturnsLiveRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		tbl := &Table{}
+		n := 1 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			m := randomMatch(rng)
+			m.Fields |= openflow.FieldTCPSrc
+			m.TCPSrc = uint16(i) // ensure distinct matches
+			tbl.Insert(&Rule{
+				Priority:    uint16(i),
+				Match:       m,
+				IdleTimeout: secs(rng.Intn(20)),
+				HardTimeout: secs(rng.Intn(40)),
+				Installed:   secs(rng.Intn(10)),
+			})
+		}
+		now := secs(rng.Intn(60))
+		expired, reasons := tbl.Expire(now)
+		if len(expired) != len(reasons) {
+			t.Fatal("reasons mismatch")
+		}
+		for _, r := range expired {
+			if ok, _ := r.Expired(now); !ok {
+				t.Fatalf("live rule expired: %+v now=%v", r, now)
+			}
+		}
+		for _, r := range tbl.Rules() {
+			if r.Installed <= now {
+				if ok, _ := r.Expired(now); ok {
+					t.Fatalf("expired rule kept: %+v now=%v", r, now)
+				}
+			}
+		}
+	}
+}
+
+func secs(n int) time.Duration { return time.Duration(n) * time.Second }

@@ -1,0 +1,187 @@
+// Package metrics provides the measurement primitives the experiments use:
+// windowed rate meters, binned time series, and quantile histograms. All of
+// them are driven by the simulator's virtual clock.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"scotch/internal/sim"
+)
+
+// RateMeter estimates an event rate over a sliding window using fixed-size
+// buckets. It is the controller's tool for monitoring per-switch Packet-In
+// rates (the paper's congestion signal).
+type RateMeter struct {
+	bucket  time.Duration
+	buckets []float64
+	base    int64 // index of buckets[0] in units of bucket since t=0
+}
+
+// NewRateMeter returns a meter with the given window, divided into n
+// buckets.
+func NewRateMeter(window time.Duration, n int) *RateMeter {
+	if n <= 0 || window <= 0 {
+		panic("metrics: invalid rate meter shape")
+	}
+	return &RateMeter{bucket: window / time.Duration(n), buckets: make([]float64, n)}
+}
+
+func (m *RateMeter) idx(now sim.Time) int64 { return int64(now / m.bucket) }
+
+func (m *RateMeter) advance(now sim.Time) {
+	cur := m.idx(now)
+	shift := cur - (m.base + int64(len(m.buckets)) - 1)
+	if shift <= 0 {
+		return
+	}
+	if shift >= int64(len(m.buckets)) {
+		for i := range m.buckets {
+			m.buckets[i] = 0
+		}
+	} else {
+		copy(m.buckets, m.buckets[shift:])
+		for i := len(m.buckets) - int(shift); i < len(m.buckets); i++ {
+			m.buckets[i] = 0
+		}
+	}
+	m.base = cur - int64(len(m.buckets)) + 1
+}
+
+// Add records n events at virtual time now.
+func (m *RateMeter) Add(now sim.Time, n float64) {
+	m.advance(now)
+	i := m.idx(now) - m.base
+	if i >= 0 && i < int64(len(m.buckets)) {
+		m.buckets[i] += n
+	}
+}
+
+// Rate returns the average event rate (events/second) over the window
+// ending at now.
+func (m *RateMeter) Rate(now sim.Time) float64 {
+	m.advance(now)
+	var sum float64
+	for _, v := range m.buckets {
+		sum += v
+	}
+	window := m.bucket * time.Duration(len(m.buckets))
+	return sum / window.Seconds()
+}
+
+// TimeSeries accumulates values into fixed-duration bins, producing the
+// x/y series plotted in the paper's figures.
+type TimeSeries struct {
+	Bin  time.Duration
+	bins map[int64]float64
+}
+
+// NewTimeSeries returns a series with the given bin width.
+func NewTimeSeries(bin time.Duration) *TimeSeries {
+	return &TimeSeries{Bin: bin, bins: make(map[int64]float64)}
+}
+
+// Add accumulates v into the bin containing now.
+func (ts *TimeSeries) Add(now sim.Time, v float64) {
+	ts.bins[int64(now/ts.Bin)] += v
+}
+
+// Point is one (time, value) sample.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Points returns the binned samples in time order. Empty bins between the
+// first and last sample are included as zeros.
+func (ts *TimeSeries) Points() []Point {
+	if len(ts.bins) == 0 {
+		return nil
+	}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	for k := range ts.bins {
+		if k < lo {
+			lo = k
+		}
+		if k > hi {
+			hi = k
+		}
+	}
+	out := make([]Point, 0, hi-lo+1)
+	for k := lo; k <= hi; k++ {
+		out = append(out, Point{T: time.Duration(k) * ts.Bin, V: ts.bins[k]})
+	}
+	return out
+}
+
+// RatePoints converts binned counts to per-second rates.
+func (ts *TimeSeries) RatePoints() []Point {
+	pts := ts.Points()
+	for i := range pts {
+		pts[i].V /= ts.Bin.Seconds()
+	}
+	return pts
+}
+
+// Histogram collects samples for quantile queries (latency distributions).
+type Histogram struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.samples = append(h.samples, v)
+	h.sorted = false
+}
+
+// AddDuration records a duration sample in seconds.
+func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int { return len(h.samples) }
+
+// Mean returns the sample mean, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range h.samples {
+		s += v
+	}
+	return s / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1), or 0 with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	pos := q * float64(len(h.samples)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(h.samples) {
+		return h.samples[i]
+	}
+	return h.samples[i]*(1-frac) + h.samples[i+1]*frac
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.6f p50=%.6f p99=%.6f",
+		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99))
+}

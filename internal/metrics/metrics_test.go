@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestRateMeterSteadyRate(t *testing.T) {
+	m := NewRateMeter(time.Second, 10)
+	// 200 events/s for 2 seconds.
+	for i := 0; i < 400; i++ {
+		m.Add(time.Duration(i)*5*time.Millisecond, 1)
+	}
+	got := m.Rate(2 * time.Second)
+	if math.Abs(got-200) > 20 {
+		t.Fatalf("Rate = %v, want ~200", got)
+	}
+}
+
+func TestRateMeterDecays(t *testing.T) {
+	m := NewRateMeter(time.Second, 10)
+	m.Add(0, 100)
+	if r := m.Rate(100 * time.Millisecond); r < 90 {
+		t.Fatalf("fresh rate = %v", r)
+	}
+	if r := m.Rate(5 * time.Second); r != 0 {
+		t.Fatalf("stale rate = %v, want 0", r)
+	}
+}
+
+func TestRateMeterPartialWindow(t *testing.T) {
+	m := NewRateMeter(time.Second, 4)
+	m.Add(0, 50)
+	m.Add(600*time.Millisecond, 50)
+	// Just before t=1s the window still covers both bursts; by 1.3s the
+	// first bucket has rolled out.
+	if r := m.Rate(999 * time.Millisecond); math.Abs(r-100) > 1 {
+		t.Fatalf("rate = %v, want 100", r)
+	}
+	if r := m.Rate(1300 * time.Millisecond); math.Abs(r-50) > 1 {
+		t.Fatalf("rate after roll-out = %v, want 50", r)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	ts.Add(100*time.Millisecond, 1)
+	ts.Add(900*time.Millisecond, 2)
+	ts.Add(2500*time.Millisecond, 5)
+	pts := ts.Points()
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[0].V != 3 || pts[1].V != 0 || pts[2].V != 5 {
+		t.Fatalf("values = %v", pts)
+	}
+	rates := ts.RatePoints()
+	if rates[0].V != 3 {
+		t.Fatalf("rate = %v", rates[0].V)
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	ts := NewTimeSeries(time.Second)
+	if pts := ts.Points(); pts != nil {
+		t.Fatalf("empty series points = %v", pts)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", m)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-50.5) > 1 {
+		t.Fatalf("p50 = %v", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 = %v", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("p100 = %v", q)
+	}
+	if q := h.Quantile(0.99); q < 98 || q > 100 {
+		t.Fatalf("p99 = %v", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}
+
+func TestHistogramAddAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Add(10)
+	_ = h.Quantile(0.5)
+	h.Add(1)
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("p0 after re-add = %v", q)
+	}
+}

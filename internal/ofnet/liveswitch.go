@@ -1,0 +1,267 @@
+package ofnet
+
+import (
+	"context"
+	"net"
+	"sync"
+	"time"
+
+	"scotch/internal/flowtable"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+// LiveSwitch is a wall-clock software OpenFlow switch: the same flow-table
+// pipeline the simulator uses, driven by real goroutines and connected to
+// a real controller over TCP. Output ports are callbacks, so switches can
+// be wired to each other, to packet sockets, or to test sinks.
+type LiveSwitch struct {
+	DPID uint64
+
+	mu       sync.Mutex
+	pipeline *flowtable.Pipeline
+	outputs  map[uint32]func(*packet.Packet)
+	start    time.Time
+	conn     *Conn
+
+	// Stats
+	Forwarded uint64
+	Misses    uint64
+	Installed uint64
+}
+
+// NewLiveSwitch creates a switch with the given number of flow tables.
+func NewLiveSwitch(dpid uint64, tables int) *LiveSwitch {
+	return &LiveSwitch{
+		DPID:     dpid,
+		pipeline: flowtable.NewPipeline(tables, 0),
+		outputs:  make(map[uint32]func(*packet.Packet)),
+		start:    time.Now(),
+	}
+}
+
+// RegisterPort wires an output port to a delivery function.
+func (ls *LiveSwitch) RegisterPort(id uint32, deliver func(*packet.Packet)) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.outputs[id] = deliver
+}
+
+func (ls *LiveSwitch) now() sim.Time { return time.Since(ls.start) }
+
+// Inject offers a packet to the data plane on the given ingress port.
+// Misses are punted to the controller when connected.
+func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
+	ls.mu.Lock()
+	res := ls.pipeline.Process(pkt, inPort, ls.now())
+	var conn *Conn
+	if res.Miss {
+		ls.Misses++
+		conn = ls.conn
+	} else {
+		ls.Forwarded++
+	}
+	actions := res.Actions
+	ls.mu.Unlock()
+
+	if res.Miss {
+		if conn != nil {
+			pin := &openflow.PacketIn{
+				BufferID: 0xffffffff,
+				TotalLen: uint16(pkt.Size),
+				Reason:   openflow.ReasonNoMatch,
+				Match:    openflow.Match{Fields: openflow.FieldInPort, InPort: inPort},
+				Data:     pkt.Marshal(),
+			}
+			// A send failure here means the control connection dropped;
+			// DialAndServe's read loop surfaces it.
+			conn.Send(pin)
+		}
+		return
+	}
+	ls.executeActions(pkt, inPort, actions, 0)
+}
+
+func (ls *LiveSwitch) executeActions(pkt *packet.Packet, inPort uint32, actions []openflow.Action, depth int) {
+	if depth > 4 {
+		return
+	}
+	for i := range actions {
+		a := &actions[i]
+		switch a.Type {
+		case openflow.ActionTypePushMPLS:
+			pkt.PushMPLS(a.MPLSLabel)
+		case openflow.ActionTypePopMPLS:
+			if _, err := pkt.PopMPLS(); err != nil {
+				return
+			}
+		case openflow.ActionTypeGroup:
+			ls.mu.Lock()
+			g := ls.pipeline.Groups.Get(a.GroupID)
+			ls.mu.Unlock()
+			if g == nil {
+				continue
+			}
+			if b := g.SelectBucket(pkt.FlowKey().Hash()); b != nil {
+				ls.executeActions(pkt, inPort, b.Actions, depth+1)
+			}
+		case openflow.ActionTypeOutput:
+			ls.mu.Lock()
+			out := ls.outputs[a.Port]
+			ls.mu.Unlock()
+			if out != nil {
+				out(pkt.Clone())
+			}
+		}
+	}
+}
+
+// DialAndServe connects to the controller, performs the handshake, and
+// serves controller messages until the context is canceled or the
+// connection drops.
+func (ls *LiveSwitch) DialAndServe(ctx context.Context, addr string) error {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return err
+	}
+	conn := NewConn(nc)
+	ls.mu.Lock()
+	ls.conn = conn
+	ls.mu.Unlock()
+	defer func() {
+		ls.mu.Lock()
+		ls.conn = nil
+		ls.mu.Unlock()
+		conn.Close()
+	}()
+
+	if _, err := conn.Send(&openflow.Hello{}); err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	for {
+		msg, xid, err := conn.Recv()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		if err := ls.handle(conn, msg, xid); err != nil {
+			return err
+		}
+	}
+}
+
+func (ls *LiveSwitch) handle(conn *Conn, msg openflow.Message, xid uint32) error {
+	switch m := msg.(type) {
+	case *openflow.Hello:
+		return nil
+	case *openflow.FeaturesRequest:
+		ls.mu.Lock()
+		n := uint8(len(ls.pipeline.Tables))
+		ls.mu.Unlock()
+		return conn.SendXID(&openflow.FeaturesReply{DatapathID: ls.DPID, NTables: n}, xid)
+	case *openflow.EchoRequest:
+		return conn.SendXID(&openflow.EchoReply{Data: m.Data}, xid)
+	case *openflow.FlowMod:
+		return ls.applyFlowMod(conn, m, xid)
+	case *openflow.GroupMod:
+		ls.mu.Lock()
+		err := ls.pipeline.Groups.Apply(m)
+		ls.mu.Unlock()
+		if err != nil {
+			return conn.SendXID(&openflow.Error{ErrType: openflow.ErrTypeGroupModFailed}, xid)
+		}
+		return nil
+	case *openflow.PacketOut:
+		pkt, err := packet.Parse(m.Data)
+		if err != nil {
+			return nil // tolerate malformed injected data
+		}
+		ls.executeActions(pkt, m.InPort, m.Actions, 0)
+		return nil
+	case *openflow.BarrierRequest:
+		return conn.SendXID(&openflow.BarrierReply{}, xid)
+	case *openflow.MultipartRequest:
+		return ls.replyStats(conn, m, xid)
+	}
+	return nil
+}
+
+func (ls *LiveSwitch) applyFlowMod(conn *Conn, m *openflow.FlowMod, xid uint32) error {
+	tableFull := false
+	ls.mu.Lock()
+	if tbl := ls.pipeline.Table(m.TableID); tbl != nil {
+		switch m.Command {
+		case openflow.FlowAdd, openflow.FlowModify:
+			rule := &flowtable.Rule{
+				Priority:     m.Priority,
+				Match:        m.Match,
+				Instructions: m.Instructions,
+				IdleTimeout:  time.Duration(m.IdleTimeout) * time.Second,
+				HardTimeout:  time.Duration(m.HardTimeout) * time.Second,
+				Cookie:       m.Cookie,
+				Flags:        m.Flags,
+				Installed:    ls.now(),
+			}
+			if err := tbl.Insert(rule); err != nil {
+				tableFull = true
+			} else {
+				ls.Installed++
+			}
+		case openflow.FlowDelete, openflow.FlowDeleteStrict:
+			tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
+		}
+	}
+	ls.mu.Unlock()
+	if tableFull {
+		return conn.SendXID(&openflow.Error{
+			ErrType: openflow.ErrTypeFlowModFailed,
+			Code:    openflow.ErrCodeTableFull,
+		}, xid)
+	}
+	return nil
+}
+
+func (ls *LiveSwitch) replyStats(conn *Conn, req *openflow.MultipartRequest, xid uint32) error {
+	if req.MPType != openflow.MultipartFlow || req.Flow == nil {
+		return nil
+	}
+	ls.mu.Lock()
+	reply := &openflow.MultipartReply{MPType: openflow.MultipartFlow}
+	now := ls.now()
+	for _, tbl := range ls.pipeline.Tables {
+		if req.Flow.TableID != 0xff && tbl.ID != req.Flow.TableID {
+			continue
+		}
+		for _, r := range tbl.Rules() {
+			reply.Flows = append(reply.Flows, openflow.FlowStats{
+				TableID:     r.TableID,
+				DurationSec: uint32((now - r.Installed) / time.Second),
+				Priority:    r.Priority,
+				Cookie:      r.Cookie,
+				PacketCount: r.Packets,
+				ByteCount:   r.Bytes,
+				Match:       r.Match,
+			})
+		}
+	}
+	ls.mu.Unlock()
+	return conn.SendXID(reply, xid)
+}
+
+// RuleCount returns the number of installed rules across tables.
+func (ls *LiveSwitch) RuleCount() int {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	n := 0
+	for _, t := range ls.pipeline.Tables {
+		n += t.Len()
+	}
+	return n
+}

@@ -1,0 +1,282 @@
+// Package ofnet runs the OpenFlow codec over real TCP connections: a
+// concurrent controller listener and a live (wall-clock, goroutine-based)
+// software switch agent. The simulator in the rest of the repository
+// exercises the same codec under virtual time; this package demonstrates
+// that the protocol layer is a genuine network implementation, not a
+// simulation artifact.
+package ofnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scotch/internal/openflow"
+)
+
+// Conn is a framed, write-locked OpenFlow connection.
+type Conn struct {
+	c    net.Conn
+	wmu  sync.Mutex
+	xid  atomic.Uint32
+	once sync.Once
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(c net.Conn) *Conn { return &Conn{c: c} }
+
+// Send marshals and writes a message with a fresh transaction id,
+// returning that id.
+func (c *Conn) Send(m openflow.Message) (uint32, error) {
+	xid := c.xid.Add(1)
+	return xid, c.SendXID(m, xid)
+}
+
+// SendXID marshals and writes a message with the given transaction id.
+func (c *Conn) SendXID(m openflow.Message, xid uint32) error {
+	b, err := openflow.Marshal(m, xid)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	_, err = c.c.Write(b)
+	return err
+}
+
+// Recv reads one framed message.
+func (c *Conn) Recv() (openflow.Message, uint32, error) {
+	return openflow.ReadMessage(c.c)
+}
+
+// Close closes the underlying connection once.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.c.Close() })
+	return err
+}
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// SwitchConn is the controller's handle on one connected switch.
+type SwitchConn struct {
+	DPID     uint64
+	NTables  uint8
+	conn     *Conn
+	ctrl     *Controller
+	lastEcho atomic.Int64 // unix nanos of the last echo reply
+
+	PacketIns atomic.Uint64
+}
+
+// Install sends a FlowMod to the switch.
+func (s *SwitchConn) Install(fm *openflow.FlowMod) error {
+	_, err := s.conn.Send(fm)
+	return err
+}
+
+// PacketOut injects a packet at the switch.
+func (s *SwitchConn) PacketOut(po *openflow.PacketOut) error {
+	_, err := s.conn.Send(po)
+	return err
+}
+
+// GroupMod installs or modifies a group at the switch.
+func (s *SwitchConn) GroupMod(gm *openflow.GroupMod) error {
+	_, err := s.conn.Send(gm)
+	return err
+}
+
+// LastEcho returns the time of the last heartbeat reply.
+func (s *SwitchConn) LastEcho() time.Time {
+	return time.Unix(0, s.lastEcho.Load())
+}
+
+// Handler receives controller events. Implementations must be safe for
+// concurrent use: each switch connection runs on its own goroutine.
+type Handler interface {
+	// SwitchConnected fires after the Hello/Features handshake.
+	SwitchConnected(sw *SwitchConn)
+	// PacketIn delivers a punted packet.
+	PacketIn(sw *SwitchConn, pin *openflow.PacketIn)
+	// SwitchGone fires when the connection drops.
+	SwitchGone(sw *SwitchConn)
+}
+
+// Controller is a TCP OpenFlow controller.
+type Controller struct {
+	handler Handler
+	ln      net.Listener
+
+	mu       sync.Mutex
+	switches map[uint64]*SwitchConn
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	// EchoInterval sets the keepalive period (default 5s).
+	EchoInterval time.Duration
+}
+
+// NewController listens on addr ("127.0.0.1:0" for an ephemeral port).
+func NewController(addr string, h Handler) (*Controller, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Controller{
+		handler:      h,
+		ln:           ln,
+		switches:     make(map[uint64]*SwitchConn),
+		ctx:          ctx,
+		cancel:       cancel,
+		EchoInterval: 5 * time.Second,
+	}
+	c.wg.Add(1)
+	go c.acceptLoop()
+	return c, nil
+}
+
+// Addr returns the listen address.
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// Switch returns the connected switch with the given datapath id, or nil.
+func (c *Controller) Switch(dpid uint64) *SwitchConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.switches[dpid]
+}
+
+// Switches returns a snapshot of connected switches.
+func (c *Controller) Switches() []*SwitchConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*SwitchConn, 0, len(c.switches))
+	for _, s := range c.switches {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Close stops the listener and all switch connections.
+func (c *Controller) Close() error {
+	c.cancel()
+	err := c.ln.Close()
+	c.mu.Lock()
+	for _, s := range c.switches {
+		s.conn.Close()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.wg.Done()
+	for {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return
+		}
+		c.wg.Add(1)
+		go c.serveSwitch(NewConn(nc))
+	}
+}
+
+// serveSwitch runs the handshake and the per-switch message loop.
+func (c *Controller) serveSwitch(conn *Conn) {
+	defer c.wg.Done()
+	defer conn.Close()
+
+	if _, err := conn.Send(&openflow.Hello{}); err != nil {
+		return
+	}
+	sw, err := c.handshake(conn)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.switches[sw.DPID] = sw
+	c.mu.Unlock()
+	c.handler.SwitchConnected(sw)
+
+	stopEcho := make(chan struct{})
+	c.wg.Add(1)
+	go c.echoLoop(sw, stopEcho)
+	defer func() {
+		close(stopEcho)
+		c.mu.Lock()
+		delete(c.switches, sw.DPID)
+		c.mu.Unlock()
+		c.handler.SwitchGone(sw)
+	}()
+
+	for {
+		msg, xid, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *openflow.PacketIn:
+			sw.PacketIns.Add(1)
+			c.handler.PacketIn(sw, m)
+		case *openflow.EchoRequest:
+			if err := conn.SendXID(&openflow.EchoReply{Data: m.Data}, xid); err != nil {
+				return
+			}
+		case *openflow.EchoReply:
+			sw.lastEcho.Store(time.Now().UnixNano())
+		case *openflow.Error, *openflow.FlowRemoved, *openflow.MultipartReply, *openflow.BarrierReply:
+			// Accepted silently; extend Handler as needed.
+		}
+	}
+}
+
+func (c *Controller) handshake(conn *Conn) (*SwitchConn, error) {
+	deadline := time.Now().Add(10 * time.Second)
+	sawHello := false
+	for time.Now().Before(deadline) {
+		msg, _, err := conn.Recv()
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *openflow.Hello:
+			sawHello = true
+			if _, err := conn.Send(&openflow.FeaturesRequest{}); err != nil {
+				return nil, err
+			}
+		case *openflow.FeaturesReply:
+			if !sawHello {
+				return nil, errors.New("ofnet: features reply before hello")
+			}
+			return &SwitchConn{DPID: m.DatapathID, NTables: m.NTables, conn: conn, ctrl: c}, nil
+		}
+	}
+	return nil, fmt.Errorf("ofnet: handshake timeout from %v", conn.RemoteAddr())
+}
+
+func (c *Controller) echoLoop(sw *SwitchConn, stop <-chan struct{}) {
+	defer c.wg.Done()
+	t := time.NewTicker(c.EchoInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-c.ctx.Done():
+			return
+		case <-t.C:
+			if _, err := sw.conn.Send(&openflow.EchoRequest{Data: []byte("hb")}); err != nil {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package ofnet
+
+import (
+	"context"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+)
+
+// reactiveHandler is a minimal reactive controller for tests: every
+// Packet-In gets an exact-match rule toward a fixed port plus a
+// Packet-Out.
+type reactiveHandler struct {
+	mu        sync.Mutex
+	connected []uint64
+	gone      []uint64
+	packetIns int
+	outPort   uint32
+	ready     chan uint64
+}
+
+func newReactiveHandler(outPort uint32) *reactiveHandler {
+	return &reactiveHandler{outPort: outPort, ready: make(chan uint64, 8)}
+}
+
+func (h *reactiveHandler) SwitchConnected(sw *SwitchConn) {
+	h.mu.Lock()
+	h.connected = append(h.connected, sw.DPID)
+	h.mu.Unlock()
+	h.ready <- sw.DPID
+}
+
+func (h *reactiveHandler) SwitchGone(sw *SwitchConn) {
+	h.mu.Lock()
+	h.gone = append(h.gone, sw.DPID)
+	h.mu.Unlock()
+}
+
+func (h *reactiveHandler) PacketIn(sw *SwitchConn, pin *openflow.PacketIn) {
+	h.mu.Lock()
+	h.packetIns++
+	h.mu.Unlock()
+	pkt, err := packet.Parse(pin.Data)
+	if err != nil {
+		return
+	}
+	key := pkt.FlowKey()
+	match := openflow.Match{
+		Fields:  openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Src | openflow.FieldIPv4Dst | openflow.FieldTCPSrc | openflow.FieldTCPDst,
+		EthType: packet.EtherTypeIPv4, IPProto: key.Proto,
+		IPv4Src: key.Src, IPv4Dst: key.Dst, TCPSrc: key.SrcPort, TCPDst: key.DstPort,
+	}
+	sw.Install(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 100, Match: match,
+		Instructions: []openflow.Instruction{openflow.ApplyActions(openflow.OutputAction(h.outPort))},
+	})
+	sw.PacketOut(&openflow.PacketOut{
+		BufferID: 0xffffffff, InPort: pin.Match.InPort,
+		Actions: []openflow.Action{openflow.OutputAction(h.outPort)},
+		Data:    pin.Data,
+	})
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestHandshakeAndReactiveForwardingOverTCP(t *testing.T) {
+	h := newReactiveHandler(2)
+	ctrl, err := NewController("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	ls := NewLiveSwitch(0xabc, 2)
+	var mu sync.Mutex
+	var delivered []*packet.Packet
+	ls.RegisterPort(2, func(p *packet.Packet) {
+		mu.Lock()
+		delivered = append(delivered, p)
+		mu.Unlock()
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ls.DialAndServe(ctx, ctrl.Addr()) }()
+
+	select {
+	case dpid := <-h.ready:
+		if dpid != 0xabc {
+			t.Fatalf("connected dpid = %#x", dpid)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handshake timeout")
+	}
+	if sw := ctrl.Switch(0xabc); sw == nil {
+		t.Fatal("switch not registered at controller")
+	}
+
+	// First packet: miss -> Packet-In over TCP -> FlowMod + PacketOut back.
+	p := packet.NewTCP(netaddr.MakeIPv4(10, 0, 0, 1), netaddr.MakeIPv4(10, 0, 1, 1), 1000, 80, packet.FlagSYN)
+	ls.Inject(p.Clone(), 1)
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(delivered) >= 1
+	}, "packet-out delivery")
+	waitFor(t, func() bool { return ls.RuleCount() == 1 }, "flow rule installation")
+
+	// Subsequent packets forward in the data plane with no controller
+	// round trip.
+	h.mu.Lock()
+	pinsBefore := h.packetIns
+	h.mu.Unlock()
+	ls.Inject(p.Clone(), 1)
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(delivered) >= 2
+	}, "hardware-path delivery")
+	h.mu.Lock()
+	if h.packetIns != pinsBefore {
+		t.Fatalf("extra packet-in after rule install")
+	}
+	h.mu.Unlock()
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not shut down")
+	}
+}
+
+func TestMultipleSwitchesAndDisconnect(t *testing.T) {
+	h := newReactiveHandler(1)
+	ctrl, err := NewController("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var agents []*LiveSwitch
+	for i := 1; i <= 3; i++ {
+		ls := NewLiveSwitch(uint64(i), 1)
+		agents = append(agents, ls)
+		go ls.DialAndServe(ctx, ctrl.Addr())
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-h.ready:
+		case <-time.After(5 * time.Second):
+			t.Fatal("handshake timeout")
+		}
+	}
+	if got := len(ctrl.Switches()); got != 3 {
+		t.Fatalf("connected switches = %d", got)
+	}
+
+	cancel()
+	waitFor(t, func() bool { return len(ctrl.Switches()) == 0 }, "disconnect cleanup")
+	h.mu.Lock()
+	gone := len(h.gone)
+	h.mu.Unlock()
+	if gone != 3 {
+		t.Fatalf("SwitchGone fired %d times, want 3", gone)
+	}
+	_ = agents
+}
+
+func TestEchoKeepalive(t *testing.T) {
+	h := newReactiveHandler(1)
+	ctrl, err := NewController("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.EchoInterval = 50 * time.Millisecond
+	defer ctrl.Close()
+
+	ls := NewLiveSwitch(9, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ls.DialAndServe(ctx, ctrl.Addr())
+	<-h.ready
+	sw := ctrl.Switch(9)
+	waitFor(t, func() bool { return sw.LastEcho().After(time.Time{}.Add(time.Nanosecond)) }, "echo reply")
+}
+
+func TestGroupAndStatsOverTCP(t *testing.T) {
+	h := newReactiveHandler(1)
+	ctrl, err := NewController("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	ls := NewLiveSwitch(5, 1)
+	var mu sync.Mutex
+	counts := map[uint32]int{}
+	for _, port := range []uint32{11, 12} {
+		port := port
+		ls.RegisterPort(port, func(*packet.Packet) {
+			mu.Lock()
+			counts[port]++
+			mu.Unlock()
+		})
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ls.DialAndServe(ctx, ctrl.Addr())
+	<-h.ready
+	sw := ctrl.Switch(5)
+
+	// Install a select group and a rule that uses it.
+	if err := sw.GroupMod(&openflow.GroupMod{
+		Command: openflow.GroupAdd, GroupType: openflow.GroupTypeSelect, GroupID: 1,
+		Buckets: []openflow.Bucket{
+			{Actions: []openflow.Action{openflow.OutputAction(11)}},
+			{Actions: []openflow.Action{openflow.OutputAction(12)}},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Install(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 1,
+		Instructions: []openflow.Instruction{openflow.ApplyActions(openflow.GroupAction(1))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ls.RuleCount() == 1 }, "rule install over TCP")
+
+	for i := 0; i < 100; i++ {
+		p := packet.NewTCP(netaddr.IPv4(i), netaddr.MakeIPv4(10, 0, 1, 1), uint16(i), 80, 0)
+		ls.Inject(p, 1)
+	}
+	mu.Lock()
+	a, b := counts[11], counts[12]
+	mu.Unlock()
+	if a+b != 100 || a == 0 || b == 0 {
+		t.Fatalf("select split = %d/%d", a, b)
+	}
+}
+
+func TestFlowStatsOverTCP(t *testing.T) {
+	h := newReactiveHandler(1)
+	ctrl, err := NewController("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctrl.Close()
+
+	ls := NewLiveSwitch(11, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ls.DialAndServe(ctx, ctrl.Addr())
+	<-h.ready
+	sw := ctrl.Switch(11)
+	if err := sw.Install(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 3,
+		Match:        openflow.Match{Fields: openflow.FieldIPv4Dst, IPv4Dst: netaddr.MakeIPv4(10, 0, 1, 1)},
+		Instructions: []openflow.Instruction{openflow.ApplyActions(openflow.OutputAction(1))},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return ls.RuleCount() == 1 }, "rule install")
+
+	// Drive some packets so the counters move.
+	for i := 0; i < 5; i++ {
+		ls.Inject(packet.NewTCP(netaddr.IPv4(i), netaddr.MakeIPv4(10, 0, 1, 1), 1, 80, 0), 2)
+	}
+
+	// Exercise the stats reply path over an in-memory connection: the
+	// handler writes the framed MultipartReply, the peer decodes it.
+	done := make(chan int, 1)
+	go func() {
+		// Use an in-memory pipe pair to call ls.handle directly.
+		a, b := net.Pipe()
+		defer a.Close()
+		defer b.Close()
+		conn := NewConn(a)
+		go func() {
+			msg, _, err := openflow.ReadMessage(b)
+			if err != nil {
+				done <- -1
+				return
+			}
+			rep, ok := msg.(*openflow.MultipartReply)
+			if !ok {
+				done <- -2
+				return
+			}
+			done <- int(rep.Flows[0].PacketCount)
+		}()
+		ls.handle(conn, &openflow.MultipartRequest{
+			MPType: openflow.MultipartFlow,
+			Flow:   &openflow.FlowStatsRequest{TableID: 0xff},
+		}, 77)
+	}()
+	select {
+	case n := <-done:
+		if n != 5 {
+			t.Fatalf("stats packet count = %d, want 5", n)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stats reply timeout")
+	}
+}
+
+func TestLiveSwitchMPLSActions(t *testing.T) {
+	ls := NewLiveSwitch(3, 1)
+	var got []*packet.Packet
+	var mu sync.Mutex
+	ls.RegisterPort(9, func(p *packet.Packet) {
+		mu.Lock()
+		got = append(got, p)
+		mu.Unlock()
+	})
+	// Install a rule directly (no controller): push a label then output.
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	conn := NewConn(a)
+	if err := ls.handle(conn, &openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 1,
+		Instructions: []openflow.Instruction{openflow.ApplyActions(
+			openflow.PushMPLSAction(42), openflow.OutputAction(9))},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	ls.Inject(packet.NewTCP(netaddr.MakeIPv4(1, 1, 1, 1), netaddr.MakeIPv4(2, 2, 2, 2), 1, 2, 0), 1)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	if len(got[0].MPLS) != 1 || got[0].MPLS[0].Label != 42 {
+		t.Fatalf("MPLS stack = %+v", got[0].MPLS)
+	}
+}

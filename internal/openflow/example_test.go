@@ -1,0 +1,36 @@
+package openflow_test
+
+import (
+	"fmt"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+)
+
+// Encoding and decoding a FlowMod through the binary OpenFlow 1.3 codec.
+func ExampleMarshal() {
+	fm := &openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		Priority:    100,
+		IdleTimeout: 10,
+		Match: openflow.Match{
+			Fields:  openflow.FieldEthType | openflow.FieldIPv4Dst,
+			EthType: 0x0800,
+			IPv4Dst: netaddr.MustParseIPv4("10.0.1.1"),
+		},
+		Instructions: []openflow.Instruction{
+			openflow.ApplyActions(openflow.OutputAction(2)),
+		},
+	}
+	wire, err := openflow.Marshal(fm, 7)
+	if err != nil {
+		panic(err)
+	}
+	msg, xid, err := openflow.Unmarshal(wire)
+	if err != nil {
+		panic(err)
+	}
+	back := msg.(*openflow.FlowMod)
+	fmt.Println(msg.Type(), "xid", xid, "match:", back.Match.String())
+	// Output: FLOW_MOD xid 7 match: eth_type=0x0800,ipv4_dst=10.0.1.1/0xffffffff
+}

@@ -1,0 +1,196 @@
+// Package openflow implements the subset of the OpenFlow 1.3 wire protocol
+// that Scotch requires: the handshake (Hello/Features), keepalive (Echo),
+// reactive forwarding (Packet-In/Packet-Out/Flow-Mod/Flow-Removed), select
+// groups (Group-Mod) for load balancing across the vSwitch mesh, and flow
+// statistics (Multipart) for elephant-flow detection.
+//
+// Every control message exchanged in the simulator — and over real TCP in
+// package ofnet — is encoded and decoded through this package, so the codec
+// is exercised on every simulated control-plane interaction.
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the only protocol version spoken: OpenFlow 1.3.
+const Version = 0x04
+
+// MsgType is the OpenFlow message type (OFPT_*).
+type MsgType uint8
+
+// Message type codes.
+const (
+	TypeHello            MsgType = 0
+	TypeError            MsgType = 1
+	TypeEchoRequest      MsgType = 2
+	TypeEchoReply        MsgType = 3
+	TypeFeaturesRequest  MsgType = 5
+	TypeFeaturesReply    MsgType = 6
+	TypePacketIn         MsgType = 10
+	TypeFlowRemoved      MsgType = 11
+	TypePacketOut        MsgType = 13
+	TypeFlowMod          MsgType = 14
+	TypeGroupMod         MsgType = 15
+	TypeMultipartRequest MsgType = 18
+	TypeMultipartReply   MsgType = 19
+	TypeBarrierRequest   MsgType = 20
+	TypeBarrierReply     MsgType = 21
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "HELLO"
+	case TypeError:
+		return "ERROR"
+	case TypeEchoRequest:
+		return "ECHO_REQUEST"
+	case TypeEchoReply:
+		return "ECHO_REPLY"
+	case TypeFeaturesRequest:
+		return "FEATURES_REQUEST"
+	case TypeFeaturesReply:
+		return "FEATURES_REPLY"
+	case TypePacketIn:
+		return "PACKET_IN"
+	case TypeFlowRemoved:
+		return "FLOW_REMOVED"
+	case TypePacketOut:
+		return "PACKET_OUT"
+	case TypeFlowMod:
+		return "FLOW_MOD"
+	case TypeGroupMod:
+		return "GROUP_MOD"
+	case TypeMultipartRequest:
+		return "MULTIPART_REQUEST"
+	case TypeMultipartReply:
+		return "MULTIPART_REPLY"
+	case TypeBarrierRequest:
+		return "BARRIER_REQUEST"
+	case TypeBarrierReply:
+		return "BARRIER_REPLY"
+	}
+	return fmt.Sprintf("OFPT(%d)", uint8(t))
+}
+
+const headerLen = 8
+
+// MaxMessageLen bounds accepted message sizes, protecting ReadMessage from
+// hostile length fields.
+const MaxMessageLen = 1 << 16
+
+// Message is an OpenFlow protocol message body.
+type Message interface {
+	// Type returns the OpenFlow message type code.
+	Type() MsgType
+	marshalBody(b []byte) ([]byte, error)
+	unmarshalBody(b []byte) error
+}
+
+// Marshal encodes a complete message (header + body) with the given
+// transaction id.
+func Marshal(m Message, xid uint32) ([]byte, error) {
+	b := make([]byte, headerLen, headerLen+64)
+	b[0] = Version
+	b[1] = byte(m.Type())
+	binary.BigEndian.PutUint32(b[4:], xid)
+	b, err := m.marshalBody(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) > MaxMessageLen {
+		return nil, fmt.Errorf("openflow: message too large (%d bytes)", len(b))
+	}
+	binary.BigEndian.PutUint16(b[2:], uint16(len(b)))
+	return b, nil
+}
+
+// Unmarshal decodes one complete message, returning its body and xid.
+func Unmarshal(b []byte) (Message, uint32, error) {
+	if len(b) < headerLen {
+		return nil, 0, fmt.Errorf("openflow: header truncated (%d bytes)", len(b))
+	}
+	if b[0] != Version {
+		return nil, 0, fmt.Errorf("openflow: unsupported version %#02x", b[0])
+	}
+	length := int(binary.BigEndian.Uint16(b[2:]))
+	xid := binary.BigEndian.Uint32(b[4:])
+	if length < headerLen || length > len(b) {
+		return nil, 0, fmt.Errorf("openflow: bad message length %d (have %d)", length, len(b))
+	}
+	m, err := newMessage(MsgType(b[1]))
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := m.unmarshalBody(b[headerLen:length]); err != nil {
+		return nil, 0, err
+	}
+	return m, xid, nil
+}
+
+func newMessage(t MsgType) (Message, error) {
+	switch t {
+	case TypeHello:
+		return &Hello{}, nil
+	case TypeError:
+		return &Error{}, nil
+	case TypeEchoRequest:
+		return &EchoRequest{}, nil
+	case TypeEchoReply:
+		return &EchoReply{}, nil
+	case TypeFeaturesRequest:
+		return &FeaturesRequest{}, nil
+	case TypeFeaturesReply:
+		return &FeaturesReply{}, nil
+	case TypePacketIn:
+		return &PacketIn{}, nil
+	case TypeFlowRemoved:
+		return &FlowRemoved{}, nil
+	case TypePacketOut:
+		return &PacketOut{}, nil
+	case TypeFlowMod:
+		return &FlowMod{}, nil
+	case TypeGroupMod:
+		return &GroupMod{}, nil
+	case TypeMultipartRequest:
+		return &MultipartRequest{}, nil
+	case TypeMultipartReply:
+		return &MultipartReply{}, nil
+	case TypeBarrierRequest:
+		return &BarrierRequest{}, nil
+	case TypeBarrierReply:
+		return &BarrierReply{}, nil
+	}
+	return nil, fmt.Errorf("openflow: unknown message type %d", uint8(t))
+}
+
+// WriteMessage encodes m and writes it to w.
+func WriteMessage(w io.Writer, m Message, xid uint32) error {
+	b, err := Marshal(m, xid)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadMessage reads exactly one framed message from r.
+func ReadMessage(r io.Reader) (Message, uint32, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, err
+	}
+	length := int(binary.BigEndian.Uint16(hdr[2:]))
+	if length < headerLen || length > MaxMessageLen {
+		return nil, 0, fmt.Errorf("openflow: bad framed length %d", length)
+	}
+	buf := make([]byte, length)
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, 0, err
+	}
+	return Unmarshal(buf)
+}

@@ -1,0 +1,125 @@
+package openflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// corpus returns one valid encoding of every message type.
+func corpus(t testing.TB) [][]byte {
+	t.Helper()
+	msgs := []Message{
+		&Hello{},
+		&EchoRequest{Data: []byte("abcdef")},
+		&EchoReply{Data: []byte("ghi")},
+		&FeaturesRequest{},
+		&FeaturesReply{DatapathID: 1, NTables: 4},
+		&PacketIn{BufferID: 1, Match: sampleMatch(), Data: make([]byte, 64)},
+		&PacketOut{InPort: 1, Actions: []Action{OutputAction(2), SetTunnelAction(9)}, Data: []byte{1}},
+		&FlowMod{Command: FlowAdd, Priority: 7, Match: sampleMatch(),
+			Instructions: []Instruction{ApplyActions(PushMPLSAction(3), OutputAction(1)), GotoTable(1)}},
+		&FlowRemoved{Match: sampleMatch(), PacketCount: 3},
+		&GroupMod{Command: GroupAdd, GroupType: GroupTypeSelect, GroupID: 2,
+			Buckets: []Bucket{{Actions: []Action{OutputAction(1)}}, {Actions: []Action{OutputAction(2)}}}},
+		&MultipartRequest{MPType: MultipartFlow, Flow: &FlowStatsRequest{TableID: 0xff}},
+		&MultipartReply{MPType: MultipartFlow, Flows: []FlowStats{{Match: sampleMatch(), ByteCount: 9}}},
+		&Error{ErrType: 1, Code: 2, Data: []byte{3}},
+		&BarrierRequest{},
+		&BarrierReply{},
+	}
+	var out [][]byte
+	for _, m := range msgs {
+		b, err := Marshal(m, 42)
+		if err != nil {
+			t.Fatalf("marshal %T: %v", m, err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestUnmarshalNeverPanicsOnMutation flips random bytes in valid messages:
+// decoding must fail gracefully or succeed, never panic or over-read.
+func TestUnmarshalNeverPanicsOnMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, wire := range corpus(t) {
+		for trial := 0; trial < 500; trial++ {
+			b := append([]byte(nil), wire...)
+			flips := 1 + rng.Intn(4)
+			for i := 0; i < flips; i++ {
+				b[rng.Intn(len(b))] ^= byte(1 << rng.Intn(8))
+			}
+			// Must not panic; error or success are both acceptable.
+			Unmarshal(b)
+		}
+	}
+}
+
+// TestUnmarshalNeverPanicsOnTruncation decodes every prefix of every
+// corpus message.
+func TestUnmarshalNeverPanicsOnTruncation(t *testing.T) {
+	for _, wire := range corpus(t) {
+		for n := 0; n <= len(wire); n++ {
+			Unmarshal(wire[:n])
+		}
+	}
+}
+
+// TestUnmarshalRandomGarbage feeds arbitrary bytes with a plausible header.
+func TestUnmarshalRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		n := 8 + rng.Intn(120)
+		b := make([]byte, n)
+		rng.Read(b)
+		b[0] = Version
+		b[1] = byte(rng.Intn(24))
+		b[2] = byte(n >> 8)
+		b[3] = byte(n)
+		Unmarshal(b)
+	}
+}
+
+// TestReEncodeStability: decode(encode(m)) re-encodes to identical bytes —
+// the codec is canonical.
+func TestReEncodeStability(t *testing.T) {
+	for i, wire := range corpus(t) {
+		m, xid, err := Unmarshal(wire)
+		if err != nil {
+			t.Fatalf("corpus %d: %v", i, err)
+		}
+		again, err := Marshal(m, xid)
+		if err != nil {
+			t.Fatalf("re-marshal corpus %d: %v", i, err)
+		}
+		if string(again) != string(wire) {
+			t.Errorf("corpus %d not canonical:\n %x\n %x", i, wire, again)
+		}
+	}
+}
+
+// TestMatchSubsetIgnoresUnknownOXM: an unknown basic-class OXM field is
+// skipped for forward compatibility rather than failing the whole match.
+func TestMatchSubsetIgnoresUnknownOXM(t *testing.T) {
+	m := Match{Fields: FieldInPort, InPort: 3}
+	wire := m.Marshal(nil)
+	// Append an unknown field (id 60, 2-byte value) inside the match
+	// region by rebuilding: header says OXM length includes it.
+	raw := m.marshalOXM(nil)
+	raw = oxmHeader(raw, 60, false, 2)
+	raw = append(raw, 0xaa, 0xbb)
+	full := make([]byte, 0, 4+len(raw)+8)
+	full = append(full, 0, 1, 0, byte(4+len(raw)))
+	full = append(full, raw...)
+	for len(full)%8 != 0 {
+		full = append(full, 0)
+	}
+	var back Match
+	if _, err := back.Unmarshal(full); err != nil {
+		t.Fatalf("unknown OXM rejected: %v", err)
+	}
+	if !back.Fields.Has(FieldInPort) || back.InPort != 3 {
+		t.Fatalf("known field lost: %+v", back)
+	}
+	_ = wire
+}

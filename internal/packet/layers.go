@@ -1,0 +1,275 @@
+// Package packet models network packets and their wire encoding.
+//
+// The design mirrors gopacket: each protocol layer is a struct with
+// SerializeTo/DecodeFromBytes methods, and a Packet bundles a decoded layer
+// stack. The simulator passes *Packet values between nodes; the wire codec
+// is exercised whenever packets cross an encapsulation boundary (tunnels)
+// or are embedded into OpenFlow Packet-In messages.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scotch/internal/netaddr"
+)
+
+// EtherType values understood by the simulator.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeMPLS uint16 = 0x8847
+)
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst, Src  netaddr.MAC
+	EtherType uint16
+}
+
+const ethernetLen = 14
+
+// SerializeTo appends the wire form of the header to b.
+func (e *Ethernet) SerializeTo(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, e.EtherType)
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (e *Ethernet) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < ethernetLen {
+		return nil, fmt.Errorf("packet: ethernet header truncated (%d bytes)", len(b))
+	}
+	copy(e.Dst[:], b[0:6])
+	copy(e.Src[:], b[6:12])
+	e.EtherType = binary.BigEndian.Uint16(b[12:14])
+	return b[ethernetLen:], nil
+}
+
+// MPLSLabel is one entry of an MPLS label stack.
+type MPLSLabel struct {
+	Label  uint32 // 20 bits
+	TC     uint8  // 3 bits (traffic class)
+	Bottom bool   // S bit
+	TTL    uint8
+}
+
+const mplsLen = 4
+
+// SerializeTo appends the 4-byte label stack entry to b.
+func (m *MPLSLabel) SerializeTo(b []byte) []byte {
+	v := m.Label<<12 | uint32(m.TC&0x7)<<9 | uint32(m.TTL)
+	if m.Bottom {
+		v |= 1 << 8
+	}
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+// DecodeFromBytes parses one label stack entry and returns the rest.
+func (m *MPLSLabel) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < mplsLen {
+		return nil, fmt.Errorf("packet: MPLS entry truncated (%d bytes)", len(b))
+	}
+	v := binary.BigEndian.Uint32(b)
+	m.Label = v >> 12
+	m.TC = uint8(v>>9) & 0x7
+	m.Bottom = v&(1<<8) != 0
+	m.TTL = uint8(v)
+	return b[mplsLen:], nil
+}
+
+// GRE is a minimal GRE header (RFC 2890) with an optional key, the field
+// Scotch uses to carry the original ingress port across a GRE tunnel.
+type GRE struct {
+	KeyPresent bool
+	Protocol   uint16 // EtherType of the inner payload
+	Key        uint32
+}
+
+// SerializeTo appends the wire form of the header to b.
+func (g *GRE) SerializeTo(b []byte) []byte {
+	var flags uint16
+	if g.KeyPresent {
+		flags |= 0x2000
+	}
+	b = binary.BigEndian.AppendUint16(b, flags)
+	b = binary.BigEndian.AppendUint16(b, g.Protocol)
+	if g.KeyPresent {
+		b = binary.BigEndian.AppendUint32(b, g.Key)
+	}
+	return b
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (g *GRE) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("packet: GRE header truncated (%d bytes)", len(b))
+	}
+	flags := binary.BigEndian.Uint16(b)
+	g.Protocol = binary.BigEndian.Uint16(b[2:4])
+	g.KeyPresent = flags&0x2000 != 0
+	b = b[4:]
+	if g.KeyPresent {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("packet: GRE key truncated")
+		}
+		g.Key = binary.BigEndian.Uint32(b)
+		b = b[4:]
+	}
+	return b, nil
+}
+
+// IPv4 is an IPv4 header without options.
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length including header; filled by SerializeTo if zero
+	ID       uint16
+	TTL      uint8
+	Protocol uint8
+	Checksum uint16 // filled by SerializeTo
+	Src, Dst netaddr.IPv4
+}
+
+const ipv4Len = 20
+
+// SerializeTo appends the wire form of the header to b; payloadLen is the
+// number of payload bytes that will follow.
+func (ip *IPv4) SerializeTo(b []byte, payloadLen int) []byte {
+	start := len(b)
+	total := uint16(ipv4Len + payloadLen)
+	ip.Length = total
+	b = append(b, 0x45, ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, total)
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, 0) // flags+fragment offset
+	b = append(b, ip.TTL, ip.Protocol)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint32(b, uint32(ip.Src))
+	b = binary.BigEndian.AppendUint32(b, uint32(ip.Dst))
+	ip.Checksum = ipChecksum(b[start : start+ipv4Len])
+	binary.BigEndian.PutUint16(b[start+10:], ip.Checksum)
+	return b
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload,
+// verifying the header checksum.
+func (ip *IPv4) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < ipv4Len {
+		return nil, fmt.Errorf("packet: IPv4 header truncated (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return nil, fmt.Errorf("packet: IPv4 version = %d", v)
+	}
+	ihl := int(b[0]&0xf) * 4
+	if ihl < ipv4Len || len(b) < ihl {
+		return nil, fmt.Errorf("packet: bad IHL %d", ihl)
+	}
+	if ipChecksum(b[:ihl]) != 0 {
+		return nil, fmt.Errorf("packet: IPv4 checksum mismatch")
+	}
+	ip.TOS = b[1]
+	ip.Length = binary.BigEndian.Uint16(b[2:])
+	ip.ID = binary.BigEndian.Uint16(b[4:])
+	ip.TTL = b[8]
+	ip.Protocol = b[9]
+	ip.Checksum = binary.BigEndian.Uint16(b[10:])
+	ip.Src = netaddr.IPv4(binary.BigEndian.Uint32(b[12:]))
+	ip.Dst = netaddr.IPv4(binary.BigEndian.Uint32(b[16:]))
+	if int(ip.Length) < ihl || int(ip.Length) > len(b) {
+		return nil, fmt.Errorf("packet: IPv4 length %d out of range", ip.Length)
+	}
+	return b[ihl:ip.Length], nil
+}
+
+func ipChecksum(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(hdr[i:]))
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// TCP flag bits.
+const (
+	FlagFIN = 1 << 0
+	FlagSYN = 1 << 1
+	FlagRST = 1 << 2
+	FlagPSH = 1 << 3
+	FlagACK = 1 << 4
+)
+
+// TCP is a TCP header without options. Checksums are not modelled; the
+// simulator treats payload integrity as given.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+}
+
+const tcpLen = 20
+
+// SerializeTo appends the wire form of the header to b.
+func (t *TCP) SerializeTo(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, 5<<4, t.Flags)
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = binary.BigEndian.AppendUint16(b, 0) // checksum (unmodelled)
+	return binary.BigEndian.AppendUint16(b, 0)
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (t *TCP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < tcpLen {
+		return nil, fmt.Errorf("packet: TCP header truncated (%d bytes)", len(b))
+	}
+	t.SrcPort = binary.BigEndian.Uint16(b)
+	t.DstPort = binary.BigEndian.Uint16(b[2:])
+	t.Seq = binary.BigEndian.Uint32(b[4:])
+	t.Ack = binary.BigEndian.Uint32(b[8:])
+	off := int(b[12]>>4) * 4
+	if off < tcpLen || off > len(b) {
+		return nil, fmt.Errorf("packet: bad TCP data offset %d", off)
+	}
+	t.Flags = b[13]
+	t.Window = binary.BigEndian.Uint16(b[14:])
+	return b[off:], nil
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // filled by SerializeTo if zero
+}
+
+const udpLen = 8
+
+// SerializeTo appends the wire form of the header to b; payloadLen is the
+// number of payload bytes that will follow.
+func (u *UDP) SerializeTo(b []byte, payloadLen int) []byte {
+	u.Length = uint16(udpLen + payloadLen)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, u.Length)
+	return binary.BigEndian.AppendUint16(b, 0) // checksum (unmodelled)
+}
+
+// DecodeFromBytes parses the header and returns the remaining payload.
+func (u *UDP) DecodeFromBytes(b []byte) ([]byte, error) {
+	if len(b) < udpLen {
+		return nil, fmt.Errorf("packet: UDP header truncated (%d bytes)", len(b))
+	}
+	u.SrcPort = binary.BigEndian.Uint16(b)
+	u.DstPort = binary.BigEndian.Uint16(b[2:])
+	u.Length = binary.BigEndian.Uint16(b[4:])
+	if int(u.Length) < udpLen || int(u.Length) > len(b) {
+		return nil, fmt.Errorf("packet: UDP length %d out of range", u.Length)
+	}
+	return b[udpLen:u.Length], nil
+}

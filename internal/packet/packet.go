@@ -1,0 +1,276 @@
+package packet
+
+import (
+	"fmt"
+	"time"
+
+	"scotch/internal/netaddr"
+)
+
+// Meta carries per-packet simulator metadata that is not part of the wire
+// encoding: flow bookkeeping for the capture subsystem and, like Open
+// vSwitch, an out-of-band tunnel register populated at decapsulation and
+// matchable by flow rules (OXM tunnel_id).
+type Meta struct {
+	FlowID    uint64        // generator-assigned flow identity (0 = unset)
+	Seq       int           // packet index within its flow
+	TunnelID  uint64        // set when the packet leaves a tunnel
+	InnerKey  uint32        // inner MPLS label / GRE key popped at decap (ingress port id)
+	FirstOfFl bool          // first packet of its flow (drives flow-setup accounting)
+	SentAt    time.Duration // virtual send time, for one-way delay measurement
+}
+
+// Packet is a decoded packet plus simulation metadata. The header stack is
+// Ethernet [MPLS*] [outer IPv4+GRE] IPv4 [TCP|UDP] payload.
+type Packet struct {
+	Eth  Ethernet
+	MPLS []MPLSLabel // label stack, outermost first
+	// GRE encapsulation: when Outer != nil the packet is IP-in-GRE and IP
+	// below is the inner header.
+	Outer *IPv4
+	GRE   *GRE
+
+	IP  IPv4
+	TCP *TCP
+	UDP *UDP
+
+	Payload []byte
+	// Size is the logical wire length in bytes used for bandwidth
+	// accounting. Marshal emits headers plus Payload; generators set Size
+	// to model MTU-sized packets without materializing their bytes.
+	Size int
+
+	Meta Meta
+}
+
+// NewTCP builds an IPv4/TCP packet with sensible defaults.
+func NewTCP(src, dst netaddr.IPv4, srcPort, dstPort uint16, flags uint8) *Packet {
+	p := &Packet{
+		Eth: Ethernet{EtherType: EtherTypeIPv4},
+		IP:  IPv4{TTL: 64, Protocol: netaddr.ProtoTCP, Src: src, Dst: dst},
+		TCP: &TCP{SrcPort: srcPort, DstPort: dstPort, Flags: flags, Window: 65535},
+	}
+	p.Size = ethernetLen + ipv4Len + tcpLen
+	return p
+}
+
+// NewUDP builds an IPv4/UDP packet with sensible defaults.
+func NewUDP(src, dst netaddr.IPv4, srcPort, dstPort uint16, payloadLen int) *Packet {
+	p := &Packet{
+		Eth: Ethernet{EtherType: EtherTypeIPv4},
+		IP:  IPv4{TTL: 64, Protocol: netaddr.ProtoUDP, Src: src, Dst: dst},
+		UDP: &UDP{SrcPort: srcPort, DstPort: dstPort},
+	}
+	p.Size = ethernetLen + ipv4Len + udpLen + payloadLen
+	return p
+}
+
+// FlowKey returns the 5-tuple of the *inner* packet (tunnel headers are
+// transparent to flow identity).
+func (p *Packet) FlowKey() netaddr.FlowKey {
+	k := netaddr.FlowKey{Src: p.IP.Src, Dst: p.IP.Dst, Proto: p.IP.Protocol}
+	switch {
+	case p.TCP != nil:
+		k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return k
+}
+
+// Clone returns a deep copy. Forwarding elements that duplicate a packet
+// (e.g. group buckets of type all) must clone before mutating.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	if p.MPLS != nil {
+		q.MPLS = append([]MPLSLabel(nil), p.MPLS...)
+	}
+	if p.Outer != nil {
+		o := *p.Outer
+		q.Outer = &o
+	}
+	if p.GRE != nil {
+		g := *p.GRE
+		q.GRE = &g
+	}
+	if p.TCP != nil {
+		t := *p.TCP
+		q.TCP = &t
+	}
+	if p.UDP != nil {
+		u := *p.UDP
+		q.UDP = &u
+	}
+	if p.Payload != nil {
+		q.Payload = append([]byte(nil), p.Payload...)
+	}
+	return &q
+}
+
+// PushMPLS pushes a label onto the stack (outermost position) and flips the
+// EtherType to MPLS, as the OpenFlow push_mpls+set_field action pair does.
+func (p *Packet) PushMPLS(label uint32) {
+	bottom := len(p.MPLS) == 0
+	p.MPLS = append([]MPLSLabel{{Label: label, Bottom: bottom, TTL: 64}}, p.MPLS...)
+	if !bottom {
+		// Only the innermost entry keeps the S bit.
+		for i := 1; i < len(p.MPLS); i++ {
+			p.MPLS[i].Bottom = i == len(p.MPLS)-1
+		}
+	}
+	p.Eth.EtherType = EtherTypeMPLS
+	p.Size += mplsLen
+}
+
+// PopMPLS pops the outermost label, returning it. When the stack empties
+// the EtherType reverts to IPv4.
+func (p *Packet) PopMPLS() (uint32, error) {
+	if len(p.MPLS) == 0 {
+		return 0, fmt.Errorf("packet: pop on empty MPLS stack")
+	}
+	label := p.MPLS[0].Label
+	p.MPLS = p.MPLS[1:]
+	if len(p.MPLS) == 0 {
+		p.MPLS = nil
+		p.Eth.EtherType = EtherTypeIPv4
+	}
+	p.Size -= mplsLen
+	return label, nil
+}
+
+// EncapGRE wraps the packet in an outer IPv4+GRE header addressed from src
+// to dst, with the given tunnel key.
+func (p *Packet) EncapGRE(src, dst netaddr.IPv4, key uint32) error {
+	if p.Outer != nil {
+		return fmt.Errorf("packet: already GRE-encapsulated")
+	}
+	if len(p.MPLS) > 0 {
+		return fmt.Errorf("packet: cannot GRE-encapsulate an MPLS packet")
+	}
+	p.Outer = &IPv4{TTL: 64, Protocol: netaddr.ProtoGRE, Src: src, Dst: dst}
+	p.GRE = &GRE{KeyPresent: true, Protocol: EtherTypeIPv4, Key: key}
+	p.Size += ipv4Len + 8
+	return nil
+}
+
+// DecapGRE strips the outer IPv4+GRE header, returning the tunnel key.
+func (p *Packet) DecapGRE() (uint32, error) {
+	if p.Outer == nil || p.GRE == nil {
+		return 0, fmt.Errorf("packet: not GRE-encapsulated")
+	}
+	key := p.GRE.Key
+	p.Outer, p.GRE = nil, nil
+	p.Size -= ipv4Len + 8
+	return key, nil
+}
+
+// Marshal encodes the packet to wire bytes.
+func (p *Packet) Marshal() []byte {
+	b := make([]byte, 0, ethernetLen+len(p.MPLS)*mplsLen+2*ipv4Len+tcpLen+len(p.Payload)+16)
+	b = p.Eth.SerializeTo(b)
+	for i := range p.MPLS {
+		b = p.MPLS[i].SerializeTo(b)
+	}
+	inner := p.marshalInner()
+	if p.Outer != nil {
+		greLen := 4
+		if p.GRE.KeyPresent {
+			greLen += 4
+		}
+		b = p.Outer.SerializeTo(b, greLen+len(inner))
+		b = p.GRE.SerializeTo(b)
+	}
+	return append(b, inner...)
+}
+
+func (p *Packet) marshalInner() []byte {
+	var l4 []byte
+	switch {
+	case p.TCP != nil:
+		l4 = p.TCP.SerializeTo(nil)
+	case p.UDP != nil:
+		l4 = p.UDP.SerializeTo(nil, len(p.Payload))
+	}
+	b := p.IP.SerializeTo(nil, len(l4)+len(p.Payload))
+	b = append(b, l4...)
+	return append(b, p.Payload...)
+}
+
+// Parse decodes wire bytes produced by Marshal. The returned packet has
+// zero Meta; Size is set to the wire length.
+func Parse(b []byte) (*Packet, error) {
+	p := &Packet{Size: len(b)}
+	rest, err := p.Eth.DecodeFromBytes(b)
+	if err != nil {
+		return nil, err
+	}
+	et := p.Eth.EtherType
+	for et == EtherTypeMPLS {
+		var m MPLSLabel
+		if rest, err = m.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		p.MPLS = append(p.MPLS, m)
+		if m.Bottom {
+			et = EtherTypeIPv4
+		}
+	}
+	if et != EtherTypeIPv4 {
+		return nil, fmt.Errorf("packet: unsupported EtherType %#04x", et)
+	}
+	var ip IPv4
+	if rest, err = ip.DecodeFromBytes(rest); err != nil {
+		return nil, err
+	}
+	if ip.Protocol == netaddr.ProtoGRE {
+		p.Outer = &ip
+		p.GRE = &GRE{}
+		if rest, err = p.GRE.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		if p.GRE.Protocol != EtherTypeIPv4 {
+			return nil, fmt.Errorf("packet: unsupported GRE payload %#04x", p.GRE.Protocol)
+		}
+		if rest, err = p.IP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+	} else {
+		p.IP = ip
+	}
+	switch p.IP.Protocol {
+	case netaddr.ProtoTCP:
+		p.TCP = &TCP{}
+		if rest, err = p.TCP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+	case netaddr.ProtoUDP:
+		p.UDP = &UDP{}
+		if rest, err = p.UDP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+	}
+	if len(rest) > 0 {
+		p.Payload = append([]byte(nil), rest...)
+	}
+	return p, nil
+}
+
+// String summarizes the packet for logs and test failures.
+func (p *Packet) String() string {
+	s := ""
+	if len(p.MPLS) > 0 {
+		s += fmt.Sprintf("MPLS%v ", labels(p.MPLS))
+	}
+	if p.Outer != nil {
+		s += fmt.Sprintf("GRE[key=%d %v->%v] ", p.GRE.Key, p.Outer.Src, p.Outer.Dst)
+	}
+	return s + p.FlowKey().String()
+}
+
+func labels(ms []MPLSLabel) []uint32 {
+	out := make([]uint32, len(ms))
+	for i, m := range ms {
+		out[i] = m.Label
+	}
+	return out
+}

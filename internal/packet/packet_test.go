@@ -1,0 +1,222 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"scotch/internal/netaddr"
+)
+
+var (
+	srcIP = netaddr.MakeIPv4(10, 0, 0, 1)
+	dstIP = netaddr.MakeIPv4(10, 0, 1, 2)
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	p := NewTCP(srcIP, dstIP, 12345, 80, FlagSYN)
+	p.Eth.Src = netaddr.MakeMAC(1)
+	p.Eth.Dst = netaddr.MakeMAC(2)
+	p.Payload = []byte("hello")
+
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Eth != p.Eth {
+		t.Errorf("ethernet mismatch: %+v vs %+v", q.Eth, p.Eth)
+	}
+	if q.IP.Src != srcIP || q.IP.Dst != dstIP || q.IP.Protocol != netaddr.ProtoTCP {
+		t.Errorf("IP mismatch: %+v", q.IP)
+	}
+	if q.TCP == nil || q.TCP.SrcPort != 12345 || q.TCP.DstPort != 80 || q.TCP.Flags != FlagSYN {
+		t.Errorf("TCP mismatch: %+v", q.TCP)
+	}
+	if !bytes.Equal(q.Payload, []byte("hello")) {
+		t.Errorf("payload = %q", q.Payload)
+	}
+	if q.FlowKey() != p.FlowKey() {
+		t.Errorf("flow key changed across the wire")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := NewUDP(srcIP, dstIP, 53, 5353, 3)
+	p.Payload = []byte{1, 2, 3}
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.UDP == nil || q.UDP.SrcPort != 53 || q.UDP.DstPort != 5353 {
+		t.Fatalf("UDP mismatch: %+v", q.UDP)
+	}
+	if !bytes.Equal(q.Payload, []byte{1, 2, 3}) {
+		t.Fatalf("payload = %v", q.Payload)
+	}
+}
+
+func TestMPLSStack(t *testing.T) {
+	p := NewTCP(srcIP, dstIP, 1, 2, FlagSYN)
+	base := p.Size
+	p.PushMPLS(7)   // inner (ingress-port label)
+	p.PushMPLS(100) // outer (tunnel label)
+	if p.Eth.EtherType != EtherTypeMPLS {
+		t.Fatal("EtherType not MPLS after push")
+	}
+	if p.Size != base+2*mplsLen {
+		t.Fatalf("Size = %d, want %d", p.Size, base+2*mplsLen)
+	}
+
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.MPLS) != 2 || q.MPLS[0].Label != 100 || q.MPLS[1].Label != 7 {
+		t.Fatalf("MPLS stack = %+v", q.MPLS)
+	}
+	if q.MPLS[0].Bottom || !q.MPLS[1].Bottom {
+		t.Fatalf("S bits wrong: %+v", q.MPLS)
+	}
+
+	outer, err := q.PopMPLS()
+	if err != nil || outer != 100 {
+		t.Fatalf("pop outer = %d, %v", outer, err)
+	}
+	inner, err := q.PopMPLS()
+	if err != nil || inner != 7 {
+		t.Fatalf("pop inner = %d, %v", inner, err)
+	}
+	if q.Eth.EtherType != EtherTypeIPv4 {
+		t.Fatal("EtherType not restored after popping the stack")
+	}
+	if _, err := q.PopMPLS(); err == nil {
+		t.Fatal("pop on empty stack succeeded")
+	}
+	if q.FlowKey() != p.FlowKey() {
+		t.Fatal("flow key damaged by MPLS round trip")
+	}
+}
+
+func TestGREEncapDecap(t *testing.T) {
+	p := NewTCP(srcIP, dstIP, 1000, 80, FlagSYN|FlagACK)
+	tepA := netaddr.MakeIPv4(192, 168, 0, 1)
+	tepB := netaddr.MakeIPv4(192, 168, 0, 2)
+	if err := p.EncapGRE(tepA, tepB, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EncapGRE(tepA, tepB, 43); err == nil {
+		t.Fatal("double encapsulation succeeded")
+	}
+
+	q, err := Parse(p.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Outer == nil || q.GRE == nil {
+		t.Fatal("GRE encapsulation lost on the wire")
+	}
+	if q.Outer.Src != tepA || q.Outer.Dst != tepB {
+		t.Fatalf("outer IP = %v->%v", q.Outer.Src, q.Outer.Dst)
+	}
+	key, err := q.DecapGRE()
+	if err != nil || key != 42 {
+		t.Fatalf("decap key = %d, %v", key, err)
+	}
+	if q.IP.Src != srcIP || q.IP.Dst != dstIP {
+		t.Fatalf("inner IP damaged: %+v", q.IP)
+	}
+	if _, err := q.DecapGRE(); err == nil {
+		t.Fatal("decap of plain packet succeeded")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	p := NewTCP(srcIP, dstIP, 1, 2, FlagSYN)
+	wire := p.Marshal()
+	for n := 0; n < len(wire); n += 5 {
+		if _, err := Parse(wire[:n]); err == nil {
+			t.Errorf("Parse of %d-byte prefix succeeded", n)
+		}
+	}
+	// Corrupt the IP checksum.
+	bad := append([]byte(nil), wire...)
+	bad[ethernetLen+10] ^= 0xff
+	if _, err := Parse(bad); err == nil {
+		t.Error("Parse accepted corrupted IP checksum")
+	}
+	// Unknown EtherType.
+	bad2 := append([]byte(nil), wire...)
+	bad2[12], bad2[13] = 0x86, 0xdd // IPv6
+	if _, err := Parse(bad2); err == nil {
+		t.Error("Parse accepted unsupported EtherType")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewTCP(srcIP, dstIP, 1, 2, FlagSYN)
+	p.PushMPLS(5)
+	p.Payload = []byte{9}
+	q := p.Clone()
+	q.MPLS[0].Label = 6
+	q.TCP.DstPort = 99
+	q.Payload[0] = 1
+	if p.MPLS[0].Label != 5 || p.TCP.DstPort != 2 || p.Payload[0] != 9 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+func TestIPv4ChecksumProperty(t *testing.T) {
+	f := func(src, dst uint32, tos, ttl uint8, id uint16) bool {
+		ip := IPv4{TOS: tos, ID: id, TTL: ttl, Protocol: netaddr.ProtoTCP,
+			Src: netaddr.IPv4(src), Dst: netaddr.IPv4(dst)}
+		b := ip.SerializeTo(nil, 0)
+		var back IPv4
+		_, err := back.DecodeFromBytes(b)
+		return err == nil && back.Src == ip.Src && back.Dst == ip.Dst &&
+			back.TOS == tos && back.TTL == ttl && back.ID == id
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPLSEntryProperty(t *testing.T) {
+	f := func(label uint32, tc uint8, bottom bool, ttl uint8) bool {
+		m := MPLSLabel{Label: label & 0xfffff, TC: tc & 7, Bottom: bottom, TTL: ttl}
+		b := m.SerializeTo(nil)
+		var back MPLSLabel
+		_, err := back.DecodeFromBytes(b)
+		return err == nil && back == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	p := NewTCP(srcIP, dstIP, 1, 2, FlagSYN)
+	if p.Size != len(p.Marshal()) {
+		t.Fatalf("TCP Size = %d, wire = %d", p.Size, len(p.Marshal()))
+	}
+	p.PushMPLS(1)
+	if p.Size != len(p.Marshal()) {
+		t.Fatalf("MPLS Size = %d, wire = %d", p.Size, len(p.Marshal()))
+	}
+	p.PopMPLS()
+	p.EncapGRE(srcIP, dstIP, 1)
+	if p.Size != len(p.Marshal()) {
+		t.Fatalf("GRE Size = %d, wire = %d", p.Size, len(p.Marshal()))
+	}
+}
+
+func BenchmarkMarshalParse(b *testing.B) {
+	p := NewTCP(srcIP, dstIP, 1234, 80, FlagSYN)
+	p.Payload = bytes.Repeat([]byte{0xab}, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wire := p.Marshal()
+		if _, err := Parse(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

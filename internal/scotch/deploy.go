@@ -1,0 +1,53 @@
+package scotch
+
+import (
+	"scotch/internal/controller"
+	"scotch/internal/topo"
+)
+
+// DeployLeafSpine wires a Scotch app over a leaf-spine fabric built by
+// topo.NewLeafSpine, following the paper's deployment guidance (§5.6):
+// every rack's vSwitches join the mesh, hosts deliver through a vSwitch in
+// their own rack (with the rack's second vSwitch as backup when present),
+// and every leaf is protected on its host ports and spine uplinks. The
+// caller still runs Connect/Build:
+//
+//	c := controller.New(eng, ls.Net)
+//	app := scotch.New(c, cfg)
+//	scotch.DeployLeafSpine(app, ls, lsCfg)
+//	c.ConnectAll()
+//	app.Build()
+func DeployLeafSpine(app *App, ls *topo.LeafSpine, cfg topo.LeafSpineConfig) {
+	for _, vs := range ls.VSwitches {
+		app.AddVSwitch(vs.DPID, false)
+	}
+	per := cfg.VSwitchesPerLeaf
+	for ip, leaf := range ls.HostLeaf {
+		primary := ls.VSwitches[leaf*per].DPID
+		var backup uint64
+		if per > 1 {
+			backup = ls.VSwitches[leaf*per+1].DPID
+		}
+		app.AssignHost(ip, primary, backup)
+	}
+	for _, leaf := range ls.Leaves {
+		var ports []uint32
+		for p := uint32(1); p <= uint32(cfg.Spines+cfg.HostsPerLeaf); p++ {
+			ports = append(ports, p)
+		}
+		app.Protect(leaf.DPID, ports...)
+	}
+}
+
+// NewLeafSpineDeployment is the one-call variant: it creates the
+// controller and app, deploys, connects, and builds.
+func NewLeafSpineDeployment(ls *topo.LeafSpine, lsCfg topo.LeafSpineConfig, cfg Config) (*controller.Controller, *App, error) {
+	c := controller.New(ls.Net.Eng, ls.Net)
+	app := New(c, cfg)
+	DeployLeafSpine(app, ls, lsCfg)
+	c.ConnectAll()
+	if err := app.Build(); err != nil {
+		return nil, nil, err
+	}
+	return c, app, nil
+}

@@ -1,0 +1,35 @@
+package scotch
+
+import (
+	"testing"
+	"time"
+
+	"scotch/internal/netaddr"
+	"scotch/internal/workload"
+)
+
+// TestGroupByCustomerFairness exercises §5.2's generalization: two
+// customers arrive on the *same* ingress port (so per-port differentiation
+// cannot separate them); grouping by source /24 restores fairness when one
+// customer floods.
+func TestGroupByCustomerFairness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.GroupBy = func(_ uint64, _ uint32, key netaddr.FlowKey) uint32 {
+		return uint32(key.Src >> 8) // customer = source /24
+	}
+	f := newFixture(t, cfg, 2, 0)
+
+	// Both generators share the attacker host (same ingress port). The
+	// flooding "customer" spoofs within 172.16/12; the quiet customer is
+	// the host's own /24.
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2500)
+	quiet := workload.StartClient(f.atkEm, f.server.IP, 80, 1, 0)
+	f.eng.RunUntil(15 * time.Second)
+	d.Stop()
+	quiet.Stop()
+	f.eng.RunUntil(16 * time.Second)
+
+	if fail := f.cap.FailureFraction("client"); fail > 0.15 {
+		t.Fatalf("quiet customer failure = %.2f with GroupBy, want < 0.15", fail)
+	}
+}

@@ -1,0 +1,471 @@
+package scotch
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"scotch/internal/device"
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+)
+
+// offloadGroupID is the select group at each protected physical switch
+// whose buckets tunnel to the switch's fan-out vSwitches.
+const offloadGroupID = 1
+
+// Rule priorities. Red (per-flow physical) rules shadow green (shared
+// overlay) rules, as in the paper's Fig. 8.
+const (
+	prioOffloadPortTag = 1   // table 0: in_port -> push label, goto table 1
+	prioOffloadDefault = 0   // table 1: any -> group
+	prioGreenChain     = 2   // shared middlebox-chain rules at S_U/S_D
+	prioPin            = 150 // withdrawal pins: keep existing overlay flows
+	prioRed            = 200 // per-flow physical-path rules
+	prioVSwitch        = 100 // per-flow rules at mesh vSwitches
+)
+
+// physTunnel is one tunnel from a protected switch into the mesh.
+type physTunnel struct {
+	vs       uint64 // mesh vSwitch dpid
+	physPort uint32 // tunnel port at the physical switch
+	vsPort   uint32 // tunnel port at the vSwitch
+	id       uint64
+}
+
+// delivery records how a host is reached from the mesh.
+type delivery struct {
+	vs     uint64 // delivery vSwitch
+	vsPort uint32 // tunnel port at the vSwitch toward the host
+	backup uint64 // backup delivery vSwitch (0 = none)
+}
+
+// Overlay owns the Scotch tunnel fabric: the vSwitch full mesh, the
+// physical-switch fan-out tunnels, and the host delivery tunnels.
+type Overlay struct {
+	app *App
+
+	vswitches []uint64 // mesh members (primaries and backups)
+	backups   map[uint64]bool
+	alive     map[uint64]bool
+
+	meshPort     map[[2]uint64]uint32 // (from, to) -> out port at from
+	meshID       map[[2]uint64]uint64 // (from, to) -> tunnel id
+	deliveries   map[netaddr.IPv4]*delivery
+	deliveryPort map[[2]uint64]uint32 // (vs, host-as-ip) unused; see deliveries
+
+	phys           map[uint64][]physTunnel // protected switch -> fan-out tunnels
+	tunnelOrigin   map[uint64]uint64       // tunnel id -> physical switch dpid
+	groupInstalled map[uint64]bool
+
+	nextTunnelID uint64
+	nextPort     map[uint64]uint32 // per-node logical port allocator
+	hostPorts    map[netaddr.IPv4]uint32
+}
+
+func newOverlay(app *App) *Overlay {
+	return &Overlay{
+		app:            app,
+		backups:        make(map[uint64]bool),
+		alive:          make(map[uint64]bool),
+		meshPort:       make(map[[2]uint64]uint32),
+		meshID:         make(map[[2]uint64]uint64),
+		deliveries:     make(map[netaddr.IPv4]*delivery),
+		deliveryPort:   make(map[[2]uint64]uint32),
+		phys:           make(map[uint64][]physTunnel),
+		tunnelOrigin:   make(map[uint64]uint64),
+		groupInstalled: make(map[uint64]bool),
+		nextPort:       make(map[uint64]uint32),
+		hostPorts:      make(map[netaddr.IPv4]uint32),
+	}
+}
+
+func (o *Overlay) allocPort(dpid uint64) uint32 {
+	p, ok := o.nextPort[dpid]
+	if !ok {
+		p = 1000 // well clear of topology-assigned data ports
+	}
+	o.nextPort[dpid] = p + 1
+	return p
+}
+
+func (o *Overlay) allocTunnelID() uint64 {
+	o.nextTunnelID++
+	return o.nextTunnelID
+}
+
+// isMesh reports whether dpid is a mesh vSwitch.
+func (o *Overlay) isMesh(dpid uint64) bool {
+	for _, v := range o.vswitches {
+		if v == dpid {
+			return true
+		}
+	}
+	return false
+}
+
+// originOf resolves a tunnel id to the protected physical switch that owns
+// it (the paper's tunnel-id -> switch-id table, §5.2).
+func (o *Overlay) originOf(tunnelID uint64) (uint64, bool) {
+	dpid, ok := o.tunnelOrigin[tunnelID]
+	return dpid, ok
+}
+
+// build creates every tunnel: the vSwitch full mesh, fan-out tunnels from
+// each protected switch, and delivery tunnels to each assigned host.
+// Configuration is done offline (paper §5.6), before traffic flows.
+func (o *Overlay) build() error {
+	a := o.app
+	eng := a.C.Eng
+	net := a.C.Net
+
+	// Full mesh between vSwitches.
+	for i, va := range o.vswitches {
+		for _, vb := range o.vswitches[i+1:] {
+			da, db := net.Switch(va), net.Switch(vb)
+			if da == nil || db == nil {
+				return fmt.Errorf("scotch: unknown vswitch in mesh")
+			}
+			delay, _ := net.PathDelay(va, vb)
+			pa, pb := o.allocPort(va), o.allocPort(vb)
+			id := o.allocTunnelID()
+			device.ConnectTunnel(eng, da, pa, db, pb, device.TunnelConfig{
+				Type:    a.Cfg.TunnelType,
+				ID:      id,
+				Delay:   delay + 20*time.Microsecond,
+				RateBps: a.Cfg.TunnelBps,
+				LocalIP: da.LocalIP, RemoteIP: db.LocalIP,
+			})
+			o.meshPort[[2]uint64{va, vb}] = pa
+			o.meshPort[[2]uint64{vb, va}] = pb
+			o.meshID[[2]uint64{va, vb}] = id
+			o.meshID[[2]uint64{vb, va}] = id
+		}
+	}
+
+	// Fan-out tunnels from each protected switch to its nearest vSwitches;
+	// the receiving side strips the inner (ingress-port) label into packet
+	// metadata.
+	for dpid := range a.protected {
+		sw := net.Switch(dpid)
+		if sw == nil {
+			return fmt.Errorf("scotch: unknown protected switch %d", dpid)
+		}
+		vss := o.nearestVSwitches(dpid, a.Cfg.FanOut)
+		if len(vss) == 0 {
+			return fmt.Errorf("scotch: no vswitches available for switch %d", dpid)
+		}
+		// Pre-build tunnels to backups too so failover only swaps buckets.
+		for _, vs := range o.vswitches {
+			if o.backups[vs] {
+				vss = append(vss, vs)
+			}
+		}
+		for _, vs := range vss {
+			vdev := net.Switch(vs)
+			delay, _ := net.PathDelay(dpid, vs)
+			sp, vp := o.allocPort(dpid), o.allocPort(vs)
+			id := o.allocTunnelID()
+			device.ConnectTunnel(eng, sw, sp, vdev, vp, device.TunnelConfig{
+				Type:    a.Cfg.TunnelType,
+				ID:      id,
+				Delay:   delay + 20*time.Microsecond,
+				RateBps: a.Cfg.TunnelBps,
+				LocalIP: sw.LocalIP, RemoteIP: vdev.LocalIP,
+				StripInnerB: true,
+			})
+			o.phys[dpid] = append(o.phys[dpid], physTunnel{vs: vs, physPort: sp, vsPort: vp, id: id})
+			o.tunnelOrigin[id] = dpid
+		}
+		// The select group is installed up front; it is inert until the
+		// offload default rules reference it.
+		o.installGroup(dpid)
+	}
+
+	// Delivery tunnels from each host's local (and backup) vSwitch.
+	for ip, d := range o.deliveries {
+		if err := o.buildDelivery(ip, d.vs); err != nil {
+			return err
+		}
+		if d.backup != 0 {
+			if err := o.buildDelivery(ip, d.backup); err != nil {
+				return err
+			}
+		}
+	}
+	for _, v := range o.vswitches {
+		o.alive[v] = true
+	}
+	return o.buildChains()
+}
+
+// connectTunnel creates one overlay tunnel with the app's standard
+// parameters.
+func connectTunnel(o *Overlay, a device.Node, ap uint32, b device.Node, bp uint32, id uint64, delay time.Duration) {
+	var la, lb netaddr.IPv4
+	if sw, ok := a.(*device.Switch); ok {
+		la = sw.LocalIP
+	}
+	if sw, ok := b.(*device.Switch); ok {
+		lb = sw.LocalIP
+	}
+	device.ConnectTunnel(o.app.C.Eng, a, ap, b, bp, device.TunnelConfig{
+		Type:    o.app.Cfg.TunnelType,
+		ID:      id,
+		Delay:   delay + 20*time.Microsecond,
+		RateBps: o.app.Cfg.TunnelBps,
+		LocalIP: la, RemoteIP: lb,
+	})
+}
+
+func (o *Overlay) buildDelivery(ip netaddr.IPv4, vs uint64) error {
+	a := o.app
+	net := a.C.Net
+	host := net.Host(ip)
+	vdev := net.Switch(vs)
+	if host == nil || vdev == nil {
+		return fmt.Errorf("scotch: unknown host %v or vswitch %d", ip, vs)
+	}
+	at, _ := net.HostAttach(ip)
+	delay, _ := net.PathDelay(vs, at.DPID)
+	vp := o.allocPort(vs)
+	hp := o.allocPort(0) // host-side logical port id space is per-host anyway
+	device.ConnectTunnel(a.C.Eng, vdev, vp, host, hp, device.TunnelConfig{
+		Type:    a.Cfg.TunnelType,
+		ID:      o.allocTunnelID(),
+		Delay:   delay + 20*time.Microsecond,
+		RateBps: a.Cfg.TunnelBps,
+		LocalIP: vdev.LocalIP, RemoteIP: ip,
+	})
+	o.hostPorts[ip] = vp
+	o.deliveryPort[[2]uint64{vs, uint64(ip)}] = vp
+	return nil
+}
+
+// nearestVSwitches returns up to n live primary vSwitches ordered by
+// underlay delay from dpid (stable order for determinism).
+func (o *Overlay) nearestVSwitches(dpid uint64, n int) []uint64 {
+	type cand struct {
+		vs    uint64
+		delay time.Duration
+	}
+	var cands []cand
+	for _, vs := range o.vswitches {
+		if o.backups[vs] || (len(o.alive) > 0 && !o.alive[vs]) {
+			continue
+		}
+		d, ok := o.app.C.Net.PathDelay(dpid, vs)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{vs, d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].delay != cands[j].delay {
+			return cands[i].delay < cands[j].delay
+		}
+		return cands[i].vs < cands[j].vs
+	})
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]uint64, 0, n)
+	for _, c := range cands[:n] {
+		out = append(out, c.vs)
+	}
+	return out
+}
+
+// installGroup (re)installs the select group at a protected switch from
+// its current live fan-out tunnels.
+func (o *Overlay) installGroup(dpid uint64) {
+	h := o.app.C.Switch(dpid)
+	if h == nil {
+		return
+	}
+	var buckets []openflow.Bucket
+	for _, pt := range o.liveFanout(dpid) {
+		buckets = append(buckets, openflow.Bucket{
+			Weight:     1,
+			WatchPort:  openflow.PortAny,
+			WatchGroup: 0xffffffff,
+			Actions:    []openflow.Action{openflow.OutputAction(pt.physPort)},
+		})
+	}
+	cmd := openflow.GroupAdd
+	if o.groupInstalled[dpid] {
+		cmd = openflow.GroupModify
+	}
+	o.groupInstalled[dpid] = true
+	h.SendGroupMod(&openflow.GroupMod{
+		Command:   cmd,
+		GroupType: openflow.GroupTypeSelect,
+		GroupID:   offloadGroupID,
+		Buckets:   buckets,
+	})
+}
+
+func (o *Overlay) aliveOrUnbuilt(vs uint64) bool {
+	if len(o.alive) == 0 {
+		return true
+	}
+	return o.alive[vs]
+}
+
+// liveFanout returns the fan-out tunnels of a switch whose vSwitch is
+// alive, preferring primaries; backup vSwitches join the list only when a
+// primary has failed. This is the bucket list of the switch's select
+// group, so selectVSwitch and installGroup stay consistent by sharing it.
+func (o *Overlay) liveFanout(dpid uint64) []physTunnel {
+	var primaries, spares []physTunnel
+	nPrimary := 0
+	for _, pt := range o.phys[dpid] {
+		if o.backups[pt.vs] {
+			if o.aliveOrUnbuilt(pt.vs) {
+				spares = append(spares, pt)
+			}
+			continue
+		}
+		nPrimary++
+		if o.aliveOrUnbuilt(pt.vs) {
+			primaries = append(primaries, pt)
+		}
+	}
+	for len(primaries) < nPrimary && len(spares) > 0 {
+		primaries = append(primaries, spares[0])
+		spares = spares[1:]
+	}
+	return primaries
+}
+
+// selectVSwitch mirrors the switch's select-group bucket choice for a flow
+// so the controller knows which mesh vSwitch a tunneled flow lands on.
+func (o *Overlay) selectVSwitch(dpid uint64, key netaddr.FlowKey) (physTunnel, bool) {
+	live := o.liveFanout(dpid)
+	if len(live) == 0 {
+		return physTunnel{}, false
+	}
+	return live[key.Hash()%uint64(len(live))], true
+}
+
+// deliveryFor returns the delivery vSwitch and its host-facing tunnel port
+// for a destination.
+func (o *Overlay) deliveryFor(ip netaddr.IPv4) (uint64, uint32, bool) {
+	d, ok := o.deliveries[ip]
+	if !ok {
+		return 0, 0, false
+	}
+	vs := d.vs
+	if len(o.alive) > 0 && !o.alive[vs] && d.backup != 0 {
+		vs = d.backup
+	}
+	port, ok := o.deliveryPort[[2]uint64{vs, uint64(ip)}]
+	return vs, port, ok
+}
+
+// offloadActions returns the action list that sends a packet arriving on
+// ingressPort of switch dpid into the overlay, tagging it with the port.
+func (o *Overlay) offloadActions(ingressPort uint32) []openflow.Action {
+	if o.app.Cfg.TunnelType == device.TunnelGRE {
+		return []openflow.Action{
+			openflow.SetTunnelAction(uint64(ingressPort)),
+			openflow.GroupAction(offloadGroupID),
+		}
+	}
+	return []openflow.Action{
+		openflow.PushMPLSAction(ingressPort),
+		openflow.GroupAction(offloadGroupID),
+	}
+}
+
+// activate installs the offload rules at a congested switch (paper §5.1):
+// table 0 tags each ingress port with an inner label and continues to
+// table 1, whose default rule hands the packet to the select group. The
+// FlowMods ride the switch's admitted queue so they are paced like any
+// other install.
+func (o *Overlay) activate(dpid uint64) {
+	st := o.app.protected[dpid]
+	h := o.app.C.Switch(dpid)
+	if st == nil || h == nil || st.active {
+		return
+	}
+	st.active = true
+	o.app.Stats.Activations++
+	sched := o.app.sched(dpid)
+	// Table 1 default first so table 0 never forwards into a void.
+	sched.SubmitAdmitted(func() {
+		h.InstallFlow(&openflow.FlowMod{
+			Command: openflow.FlowAdd, TableID: 1, Priority: prioOffloadDefault,
+			Instructions: []openflow.Instruction{
+				openflow.ApplyActions(openflow.GroupAction(offloadGroupID)),
+			},
+		})
+	})
+	for _, port := range st.ingressPorts {
+		port := port
+		sched.SubmitAdmitted(func() {
+			var acts []openflow.Action
+			if o.app.Cfg.TunnelType == device.TunnelGRE {
+				acts = []openflow.Action{openflow.SetTunnelAction(uint64(port))}
+			} else {
+				acts = []openflow.Action{openflow.PushMPLSAction(port)}
+			}
+			h.InstallFlow(&openflow.FlowMod{
+				Command: openflow.FlowAdd, TableID: 0, Priority: prioOffloadPortTag,
+				Match: openflow.Match{Fields: openflow.FieldInPort, InPort: port},
+				Instructions: []openflow.Instruction{
+					openflow.ApplyActions(acts...),
+					openflow.GotoTable(1),
+				},
+			})
+		})
+	}
+}
+
+// deactivate removes the offload rules (withdrawal step 2, §5.5).
+func (o *Overlay) deactivate(dpid uint64) {
+	st := o.app.protected[dpid]
+	h := o.app.C.Switch(dpid)
+	if st == nil || h == nil || !st.active {
+		return
+	}
+	st.active = false
+	o.app.Stats.Withdrawals++
+	sched := o.app.sched(dpid)
+	for _, port := range st.ingressPorts {
+		port := port
+		sched.SubmitAdmitted(func() {
+			h.InstallFlow(&openflow.FlowMod{
+				Command: openflow.FlowDeleteStrict, TableID: 0, Priority: prioOffloadPortTag,
+				Match: openflow.Match{Fields: openflow.FieldInPort, InPort: port},
+			})
+		})
+	}
+	sched.SubmitAdmitted(func() {
+		h.InstallFlow(&openflow.FlowMod{
+			Command: openflow.FlowDeleteStrict, TableID: 1, Priority: prioOffloadDefault,
+		})
+	})
+}
+
+// failover replaces a dead vSwitch everywhere: group buckets at protected
+// switches and delivery assignments fall back to backups (paper §5.6).
+// Flows previously handled by the dead vSwitch re-hash onto live buckets
+// and are treated as new flows when they miss there.
+func (o *Overlay) failover(dead uint64) {
+	if !o.alive[dead] {
+		return
+	}
+	o.alive[dead] = false
+	o.app.Stats.FailoverSwaps++
+	// Re-derive every affected switch's buckets; liveFanout promotes a
+	// backup in place of the dead primary.
+	for dpid, tunnels := range o.phys {
+		for _, pt := range tunnels {
+			if pt.vs == dead {
+				o.installGroup(dpid)
+				break
+			}
+		}
+	}
+}

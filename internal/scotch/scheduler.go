@@ -1,0 +1,164 @@
+package scotch
+
+import (
+	"time"
+
+	"scotch/internal/sim"
+)
+
+// job is one unit of controller work paced by a switch's scheduler —
+// typically "send one FlowMod to this switch".
+type job func()
+
+// installScheduler paces the controller's rule installation toward one
+// switch at rate R, the maximum loss-free insertion rate of that switch
+// (paper §5.2/§6.1), with the paper's three priority classes:
+//
+//	admitted  — rules for flows admitted elsewhere (highest)
+//	migration — large-flow migration path setup
+//	ingress   — per-ingress-port queues of new-flow requests, served
+//	            round-robin (lowest)
+//
+// "Such a priority order causes small flows to be forwarded on physical
+// paths only after all large flows are accommodated."
+type installScheduler struct {
+	eng  *sim.Engine
+	rate float64
+	busy bool
+
+	admitted  []job
+	migration []job
+
+	ingress map[uint32][]*flowReq
+	rrPorts []uint32
+	rrIdx   int
+
+	// fifoMode disables the priority classes and per-port round robin:
+	// all work is served in arrival order. This exists only for the
+	// scheduler ablation; the paper's design is the priority scheduler.
+	fifoMode     bool
+	fifo         []job
+	ingressCount map[uint32]int
+
+	// serveIngress processes a popped new-flow request; wired to the
+	// app's physical-admission path.
+	serveIngress func(*flowReq)
+}
+
+func newScheduler(eng *sim.Engine, rate float64, serveIngress func(*flowReq)) *installScheduler {
+	if rate <= 0 {
+		panic("scotch: non-positive install rate")
+	}
+	return &installScheduler{
+		eng:          eng,
+		rate:         rate,
+		ingress:      make(map[uint32][]*flowReq),
+		ingressCount: make(map[uint32]int),
+		serveIngress: serveIngress,
+	}
+}
+
+// SubmitAdmitted queues highest-priority work (admitted-flow rules).
+func (s *installScheduler) SubmitAdmitted(j job) {
+	if s.fifoMode {
+		s.fifo = append(s.fifo, j)
+	} else {
+		s.admitted = append(s.admitted, j)
+	}
+	s.kick()
+}
+
+// SubmitMigration queues a large-flow migration step.
+func (s *installScheduler) SubmitMigration(j job) {
+	if s.fifoMode {
+		s.fifo = append(s.fifo, j)
+	} else {
+		s.migration = append(s.migration, j)
+	}
+	s.kick()
+}
+
+// SubmitIngress appends a new-flow request to its ingress-port queue.
+func (s *installScheduler) SubmitIngress(port uint32, r *flowReq) {
+	if s.fifoMode {
+		s.fifo = append(s.fifo, func() {
+			s.ingressCount[port]--
+			s.serveIngress(r)
+		})
+		s.ingressCount[port]++
+		s.kick()
+		return
+	}
+	if _, ok := s.ingress[port]; !ok {
+		s.rrPorts = append(s.rrPorts, port)
+	}
+	s.ingress[port] = append(s.ingress[port], r)
+	s.kick()
+}
+
+// IngressLen returns the backlog of one ingress-port queue. In FIFO mode
+// the per-port count is approximated by submissions minus services.
+func (s *installScheduler) IngressLen(port uint32) int {
+	if s.fifoMode {
+		return s.ingressCount[port]
+	}
+	return len(s.ingress[port])
+}
+
+// TotalBacklog returns all queued work.
+func (s *installScheduler) TotalBacklog() int {
+	n := len(s.admitted) + len(s.migration) + len(s.fifo)
+	for _, q := range s.ingress {
+		n += len(q)
+	}
+	return n
+}
+
+func (s *installScheduler) kick() {
+	if s.busy || s.TotalBacklog() == 0 {
+		return
+	}
+	s.busy = true
+	s.eng.Schedule(time.Duration(float64(time.Second)/s.rate), func() {
+		s.serveOne()
+		s.busy = false
+		s.kick()
+	})
+}
+
+// serveOne pops one unit of work in priority order (or arrival order in
+// FIFO mode).
+func (s *installScheduler) serveOne() {
+	if s.fifoMode {
+		if len(s.fifo) == 0 {
+			return
+		}
+		j := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		j()
+		return
+	}
+	if len(s.admitted) > 0 {
+		j := s.admitted[0]
+		s.admitted = s.admitted[1:]
+		j()
+		return
+	}
+	if len(s.migration) > 0 {
+		j := s.migration[0]
+		s.migration = s.migration[1:]
+		j()
+		return
+	}
+	// Round-robin over ingress ports with pending requests.
+	for range s.rrPorts {
+		port := s.rrPorts[s.rrIdx%len(s.rrPorts)]
+		s.rrIdx++
+		if q := s.ingress[port]; len(q) > 0 {
+			r := q[0]
+			s.ingress[port] = q[1:]
+			s.serveIngress(r)
+			return
+		}
+	}
+}

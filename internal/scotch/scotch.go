@@ -1,0 +1,701 @@
+// Package scotch implements the paper's contribution: a controller
+// application that elastically scales the SDN control plane by detouring
+// new flows through a vSwitch overlay when a hardware switch's control
+// path saturates.
+//
+// The pieces map one-to-one onto the paper's design sections:
+//
+//	overlay.go   — §4.1/§5.1: the tunnel mesh, select-group load
+//	               balancing, offload activation, §5.6 failover
+//	scotch.go    — §5.2: flow identification (tunnel id + inner label),
+//	               ingress-port differentiation with overlay and dropping
+//	               thresholds, §5.5 withdrawal
+//	scheduler.go — §5.2/§5.3: per-switch paced installation with the
+//	               admitted > migration > ingress priority order
+//	migrate.go   — §5.3: elephant detection via flow stats and migration
+//	               to policy-consistent physical paths (§5.4)
+package scotch
+
+import (
+	"time"
+
+	"scotch/internal/controller"
+	"scotch/internal/device"
+	"scotch/internal/metrics"
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+	"scotch/internal/topo"
+)
+
+// Config tunes the Scotch application. DefaultConfig matches the paper's
+// Pica8 calibration.
+type Config struct {
+	// InstallRate is R: the per-physical-switch pacing of rule installs,
+	// chosen below both the loss-free insertion maximum (§6.1) and the
+	// data-path interaction knee (§6.2).
+	InstallRate float64
+	// OverlayInstallRate paces overlay-side (vSwitch) route setup per
+	// protected switch.
+	OverlayInstallRate float64
+
+	// OverlayThreshold and DropThreshold act on the per-ingress-port
+	// backlog (paper Fig. 7).
+	OverlayThreshold int
+	DropThreshold    int
+
+	// ActivateRate is the Packet-In rate (per switch) above which the
+	// control path is deemed congested and the overlay engages;
+	// DeactivateRate (sustained for DeactivateChecks monitor ticks)
+	// triggers withdrawal.
+	ActivateRate     float64
+	DeactivateRate   float64
+	DeactivateChecks int
+	MonitorInterval  time.Duration
+
+	// Elephant migration.
+	StatsInterval time.Duration
+	ElephantBytes uint64
+
+	// Overlay plumbing.
+	TunnelType device.TunnelType
+	FanOut     int // tunnels per protected switch into the mesh
+	TunnelBps  float64
+
+	// vSwitch liveness.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+
+	// RuleIdleTimeout is applied to per-flow rules everywhere.
+	RuleIdleTimeout time.Duration
+
+	// Policy returns the middlebox chain a flow must traverse (nil for
+	// none); see AddMiddlebox.
+	Policy func(key netaddr.FlowKey) []string
+
+	// NaiveMigration is the §5.4 ablation: migrate elephants along the
+	// plain shortest path, ignoring middlebox state. Stateful middleboxes
+	// then reject the rerouted flows.
+	NaiveMigration bool
+
+	// FIFOScheduler is the scheduler ablation: replace the paper's
+	// admitted > migration > ingress priority classes (and per-port round
+	// robin) with a single arrival-order queue.
+	FIFOScheduler bool
+
+	// GroupBy generalizes ingress differentiation (§5.2: "we can classify
+	// the flows into different groups and enforce fair sharing of the SDN
+	// network across groups, [e.g.] according to which customer it
+	// belongs"). It maps a new-flow request to its fairness queue id; nil
+	// uses the paper's per-ingress-port example.
+	GroupBy func(origin uint64, ingressPort uint32, key netaddr.FlowKey) uint32
+}
+
+// DefaultConfig returns the calibrated defaults.
+func DefaultConfig() Config {
+	return Config{
+		InstallRate:        1000,
+		OverlayInstallRate: 4000,
+		OverlayThreshold:   20,
+		DropThreshold:      200,
+		ActivateRate:       150,
+		DeactivateRate:     50,
+		DeactivateChecks:   10,
+		MonitorInterval:    100 * time.Millisecond,
+		StatsInterval:      time.Second,
+		ElephantBytes:      20 << 10,
+		TunnelType:         device.TunnelMPLS,
+		FanOut:             2,
+		TunnelBps:          1e9,
+		HeartbeatInterval:  500 * time.Millisecond,
+		HeartbeatMisses:    3,
+		RuleIdleTimeout:    10 * time.Second,
+	}
+}
+
+// Stats counts Scotch decisions.
+type Stats struct {
+	Requests         uint64 // new-flow requests seen
+	PhysicalAdmitted uint64 // flows given physical-path rules
+	OverlayRouted    uint64 // flows routed over the vSwitch mesh
+	Dropped          uint64 // requests beyond the dropping threshold
+	Migrated         uint64 // elephants moved to physical paths
+	Pinned           uint64 // overlay flows pinned during withdrawal
+	Activations      uint64
+	Withdrawals      uint64
+	DuplicatePunts   uint64 // repeated Packet-Ins for known flows
+	Repairs          uint64 // mid-overlay misses repaired
+	FailoverSwaps    uint64 // dead vSwitches replaced
+	NoPath           uint64
+}
+
+// protState is per-protected-switch activation state.
+type protState struct {
+	dpid         uint64
+	ingressPorts []uint32
+	active       bool
+	belowCount   int
+	// reqRate tracks the switch's new-flow arrival rate as seen by the
+	// controller *after origin attribution*: once the overlay engages,
+	// Packet-Ins arrive from mesh vSwitches but still count against the
+	// origin switch, so the monitor sees the true offered load rather
+	// than the origin OFA's (now idle) Packet-In rate.
+	reqRate *metrics.RateMeter
+}
+
+// flowReq is one pending new-flow request in the ingress queues.
+type flowReq struct {
+	key    netaddr.FlowKey
+	origin uint64 // first-hop physical switch
+	port   uint32 // ingress port at the origin
+	punter *controller.SwitchHandle
+	data   []byte // the first packet, as carried in the Packet-In
+}
+
+// App is the Scotch controller application.
+type App struct {
+	C   *controller.Controller
+	Cfg Config
+
+	ov        *Overlay
+	protected map[uint64]*protState
+	physSched map[uint64]*installScheduler
+	ovlSched  map[uint64]*installScheduler
+	mboxes    map[string]*MiddleboxChain
+	migrating map[netaddr.FlowKey]bool
+
+	Stats Stats
+}
+
+// New creates the app and registers it with the controller.
+func New(c *controller.Controller, cfg Config) *App {
+	a := &App{
+		C:         c,
+		Cfg:       cfg,
+		protected: make(map[uint64]*protState),
+		physSched: make(map[uint64]*installScheduler),
+		ovlSched:  make(map[uint64]*installScheduler),
+		mboxes:    make(map[string]*MiddleboxChain),
+	}
+	a.ov = newOverlay(a)
+	c.Register(a)
+	return a
+}
+
+// Name implements controller.App.
+func (a *App) Name() string { return "scotch" }
+
+// AddVSwitch adds a mesh member; backups only serve after a failover.
+func (a *App) AddVSwitch(dpid uint64, backup bool) {
+	a.ov.vswitches = append(a.ov.vswitches, dpid)
+	if backup {
+		a.ov.backups[dpid] = true
+	}
+}
+
+// AssignHost maps a destination host to its local delivery vSwitch (and an
+// optional backup).
+func (a *App) AssignHost(ip netaddr.IPv4, vs uint64, backup uint64) {
+	a.ov.deliveries[ip] = &delivery{vs: vs, backup: backup}
+}
+
+// Protect places a physical switch under Scotch management. ingressPorts
+// are the ports whose table-miss traffic the offload rules will tag and
+// tunnel (and whose new flows get per-port fair treatment).
+func (a *App) Protect(dpid uint64, ingressPorts ...uint32) {
+	a.protected[dpid] = &protState{
+		dpid:         dpid,
+		ingressPorts: ingressPorts,
+		reqRate:      metrics.NewRateMeter(time.Second, 10),
+	}
+}
+
+// Build constructs the overlay (tunnels, groups), starts the congestion
+// monitor, the elephant-migration poller, and the vSwitch heartbeat.
+func (a *App) Build() error {
+	if err := a.ov.build(); err != nil {
+		return err
+	}
+	a.C.Eng.Every(a.Cfg.MonitorInterval, a.monitor)
+	a.C.Eng.Every(a.Cfg.StatsInterval, a.pollElephants)
+	var mesh []uint64
+	mesh = append(mesh, a.ov.vswitches...)
+	prevDead := a.C.OnSwitchDead
+	a.C.OnSwitchDead = func(h *controller.SwitchHandle) {
+		a.ov.failover(h.DPID)
+		if prevDead != nil {
+			prevDead(h)
+		}
+	}
+	a.C.StartHeartbeat(mesh, a.Cfg.HeartbeatInterval, a.Cfg.HeartbeatMisses)
+	return nil
+}
+
+// Active reports whether the overlay offload is engaged at a switch.
+func (a *App) Active(dpid uint64) bool {
+	st := a.protected[dpid]
+	return st != nil && st.active
+}
+
+// Overlay exposes the overlay manager (read-only use in experiments).
+func (a *App) Overlay() *Overlay { return a.ov }
+
+// sched returns (creating on demand) the physical install scheduler of a
+// switch.
+func (a *App) sched(dpid uint64) *installScheduler {
+	s, ok := a.physSched[dpid]
+	if !ok {
+		s = newScheduler(a.C.Eng, a.Cfg.InstallRate, func(r *flowReq) { a.admitPhysical(r) })
+		s.fifoMode = a.Cfg.FIFOScheduler
+		a.physSched[dpid] = s
+	}
+	return s
+}
+
+func (a *App) ovlSchedFor(dpid uint64) *installScheduler {
+	s, ok := a.ovlSched[dpid]
+	if !ok {
+		s = newScheduler(a.C.Eng, a.Cfg.OverlayInstallRate, func(r *flowReq) { a.admitOverlay(r) })
+		a.ovlSched[dpid] = s
+	}
+	return s
+}
+
+// monitor is the congestion watchdog (paper §4.2, §5.5): Packet-In rate
+// above ActivateRate engages the overlay; sustained quiet triggers
+// withdrawal.
+func (a *App) monitor() {
+	now := a.C.Eng.Now()
+	for dpid, st := range a.protected {
+		h := a.C.Switch(dpid)
+		if h == nil {
+			continue
+		}
+		rate := st.reqRate.Rate(now)
+		if direct := h.PacketInRate.Rate(now); direct > rate {
+			rate = direct
+		}
+		switch {
+		case !st.active && rate > a.Cfg.ActivateRate:
+			st.belowCount = 0
+			a.ov.activate(dpid)
+		case st.active && rate < a.Cfg.DeactivateRate:
+			st.belowCount++
+			if st.belowCount >= a.Cfg.DeactivateChecks {
+				a.withdraw(dpid)
+			}
+		default:
+			st.belowCount = 0
+		}
+	}
+}
+
+// HandlePacketIn implements controller.App: classify the punt, resolve the
+// flow's true origin, and run the ingress-differentiation admission logic.
+func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn, pkt *packet.Packet) bool {
+	if pkt == nil {
+		return false
+	}
+	key := pkt.FlowKey()
+
+	// Resolve the flow's origin switch and ingress port. A Packet-In from
+	// a mesh vSwitch with a known fan-out tunnel id came from that
+	// tunnel's physical switch; the inner label (carried in the cookie)
+	// is the original ingress port (paper §5.2).
+	origin := sw.DPID
+	port := pin.Match.InPort
+	var punter = sw
+	if pin.Match.Fields.Has(openflow.FieldTunnelID) {
+		if phys, ok := a.ov.originOf(pin.Match.TunnelID); ok {
+			origin = phys
+			port = uint32(pin.Cookie)
+		} else if a.ov.isMesh(sw.DPID) {
+			// Mid-overlay miss (rule race or failover rehash): repair.
+			return a.repairOverlay(sw, pin, pkt)
+		}
+	} else if a.ov.isMesh(sw.DPID) {
+		return a.repairOverlay(sw, pin, pkt)
+	}
+
+	if st := a.protected[origin]; st != nil {
+		st.reqRate.Add(a.C.Eng.Now(), 1)
+	}
+
+	if fi := a.C.FlowDB.Lookup(key); fi != nil {
+		// Duplicate punt for a flow already being set up: re-forward the
+		// packet along the flow's chosen path without new state.
+		a.Stats.DuplicatePunts++
+		a.reforward(punter, fi, pin)
+		return true
+	}
+
+	a.Stats.Requests++
+	req := &flowReq{key: key, origin: origin, port: port, punter: punter, data: pin.Data}
+
+	group := port
+	if a.Cfg.GroupBy != nil {
+		group = a.Cfg.GroupBy(origin, port, key)
+	}
+	phys := a.sched(origin)
+	ovl := a.ovlSchedFor(origin)
+	backlog := phys.IngressLen(group) + ovl.IngressLen(group)
+	switch {
+	case backlog >= a.Cfg.DropThreshold:
+		// Beyond the dropping threshold neither the physical network nor
+		// the overlay can absorb the group's arrival rate (paper §5.2).
+		a.Stats.Dropped++
+	case backlog >= a.Cfg.OverlayThreshold && a.canOverlay(req):
+		ovl.SubmitIngress(group, req)
+	default:
+		phys.SubmitIngress(group, req)
+	}
+	return true
+}
+
+// pathSwitchHot reports whether a downstream switch's control plane is
+// overloaded: its offload is active, its request rate exceeds the
+// activation threshold, or its paced install queue has a deep backlog.
+func (a *App) pathSwitchHot(dpid uint64) bool {
+	now := a.C.Eng.Now()
+	if st := a.protected[dpid]; st != nil {
+		if st.active {
+			return true
+		}
+		if st.reqRate.Rate(now) > a.Cfg.ActivateRate {
+			return true
+		}
+	}
+	// Unprotected transit switches (e.g. spines) can also saturate: their
+	// direct Packet-In rate is the signal.
+	if h := a.C.Switch(dpid); h != nil && h.PacketInRate.Rate(now) > a.Cfg.ActivateRate {
+		return true
+	}
+	if s, ok := a.physSched[dpid]; ok && s.TotalBacklog() > 4*a.Cfg.OverlayThreshold {
+		return true
+	}
+	return false
+}
+
+// canOverlay reports whether the overlay can carry the flow (a delivery
+// vSwitch is assigned for the destination and the origin has fan-out
+// tunnels).
+func (a *App) canOverlay(r *flowReq) bool {
+	if _, _, ok := a.ov.deliveryFor(r.key.Dst); !ok {
+		return false
+	}
+	_, ok := a.ov.selectVSwitch(r.origin, r.key)
+	return ok
+}
+
+// admitPhysical serves one ingress request with a physical path: rules
+// along the shortest policy-compliant path, first-hop rule installed by
+// this service slot, downstream rules via the admitted queues. Per the
+// paper, the controller first "checks the message rate of all switches on
+// the path to make sure their control plane is not overloaded"; if a
+// downstream switch is hot, the flow stays on the overlay so that "new
+// rules are initially only inserted at the vswitches" (§4).
+func (a *App) admitPhysical(r *flowReq) {
+	hops, waypoints, ok := a.policyPath(r.origin, r.key)
+	if !ok {
+		a.Stats.NoPath++
+		return
+	}
+	for _, hop := range hops[1:] {
+		if a.pathSwitchHot(hop.DPID) {
+			if a.canOverlay(r) {
+				a.admitOverlay(r)
+				return
+			}
+			break // no overlay available: install physically anyway
+		}
+	}
+	a.Stats.PhysicalAdmitted++
+	match := exactMatch(r.key)
+	first := hops[0]
+	if h := a.C.Switch(first.DPID); h != nil {
+		h.InstallFlow(a.redRuleFor(match, first))
+	}
+	for _, hop := range hops[1:] {
+		hop := hop
+		h := a.C.Switch(hop.DPID)
+		if h == nil {
+			continue
+		}
+		a.sched(hop.DPID).SubmitAdmitted(func() {
+			h.InstallFlow(a.redRuleFor(match, hop))
+		})
+	}
+	a.C.FlowDB.Put(&controller.FlowInfo{
+		Key:         r.key,
+		FirstHop:    r.origin,
+		IngressPort: r.port,
+		Waypoints:   waypoints,
+		Created:     a.C.Eng.Now(),
+	})
+	// Forward the triggering packet from the origin switch along the new
+	// path (the controller holds the full packet).
+	if h := a.C.Switch(r.origin); h != nil && len(r.data) > 0 {
+		h.SendPacketOut(&openflow.PacketOut{
+			BufferID: 0xffffffff,
+			InPort:   openflow.PortController,
+			Actions:  []openflow.Action{openflow.OutputAction(first.OutPort)},
+			Data:     r.data,
+		})
+	}
+}
+
+// admitOverlay serves one overlay-marked request: per-flow rules at the
+// entry vSwitch (chosen by the same hash as the switch's select group)
+// and at the destination's delivery vSwitch, then a Packet-Out for the
+// first packet.
+func (a *App) admitOverlay(r *flowReq) {
+	pt, ok := a.ov.selectVSwitch(r.origin, r.key)
+	if !ok {
+		a.Stats.NoPath++
+		return
+	}
+	v1 := pt.vs
+	v2, deliverPort, ok := a.ov.deliveryFor(r.key.Dst)
+	if !ok {
+		a.Stats.NoPath++
+		return
+	}
+	a.Stats.OverlayRouted++
+	match := exactMatch(r.key)
+
+	// Per-flow vSwitch hops; a policy chain detours through its
+	// middleboxes (paper Fig. 8: tunnels decapsulate at S_U, re-enter the
+	// mesh after S_D).
+	var hops []vsHop
+	if a.Cfg.Policy != nil {
+		if chain := a.Cfg.Policy(r.key); len(chain) > 0 {
+			var okc bool
+			hops, okc = a.overlayChainHops(v1, chain, v2, deliverPort)
+			if !okc {
+				a.Stats.NoPath++
+				return
+			}
+		}
+	}
+	if hops == nil {
+		if v1 == v2 {
+			hops = []vsHop{{vs: v1, out: deliverPort}}
+		} else {
+			hops = []vsHop{
+				{vs: v1, out: a.ov.meshPort[[2]uint64{v1, v2}]},
+				{vs: v2, out: deliverPort},
+			}
+		}
+	}
+	// Install downstream-first; the entry vSwitch also forwards the first
+	// packet.
+	for i := len(hops) - 1; i >= 0; i-- {
+		h := a.C.Switch(hops[i].vs)
+		if h == nil {
+			continue
+		}
+		h.InstallFlow(a.vsRuleTun(match, hops[i].out, hops[i].tunnelID))
+		if i == 0 && len(r.data) > 0 {
+			h.SendPacketOut(&openflow.PacketOut{
+				BufferID: 0xffffffff,
+				InPort:   openflow.PortController,
+				Actions:  []openflow.Action{openflow.OutputAction(hops[i].out)},
+				Data:     r.data,
+			})
+		}
+	}
+	a.C.FlowDB.Put(&controller.FlowInfo{
+		Key:            r.key,
+		FirstHop:       r.origin,
+		IngressPort:    r.port,
+		OnOverlay:      true,
+		OverlayVSwitch: v1,
+		Created:        a.C.Eng.Now(),
+	})
+}
+
+// reforward pushes a duplicate-punted packet along the flow's existing
+// path with a Packet-Out, installing no new state.
+func (a *App) reforward(punter *controller.SwitchHandle, fi *controller.FlowInfo, pin *openflow.PacketIn) {
+	if len(pin.Data) == 0 {
+		return
+	}
+	var action openflow.Action
+	if fi.OnOverlay && a.ov.isMesh(punter.DPID) {
+		v2, deliverPort, ok := a.ov.deliveryFor(fi.Key.Dst)
+		if !ok {
+			return
+		}
+		if punter.DPID == v2 {
+			action = openflow.OutputAction(deliverPort)
+		} else {
+			action = openflow.OutputAction(a.ov.meshPort[[2]uint64{punter.DPID, v2}])
+		}
+	} else {
+		hops, ok := a.C.Net.Path(punter.DPID, fi.Key.Dst)
+		if !ok {
+			return
+		}
+		action = openflow.OutputAction(hops[0].OutPort)
+	}
+	punter.SendPacketOut(&openflow.PacketOut{
+		BufferID: 0xffffffff,
+		InPort:   openflow.PortController,
+		Actions:  []openflow.Action{action},
+		Data:     pin.Data,
+	})
+}
+
+// repairOverlay handles a miss at a mesh vSwitch that is not a fan-out
+// entry (rule install race, or flows re-hashed after a failover): restore
+// the per-flow rule and forward the packet.
+func (a *App) repairOverlay(sw *controller.SwitchHandle, pin *openflow.PacketIn, pkt *packet.Packet) bool {
+	key := pkt.FlowKey()
+	fi := a.C.FlowDB.Lookup(key)
+	v2, deliverPort, ok := a.ov.deliveryFor(key.Dst)
+	if !ok {
+		return false
+	}
+	a.Stats.Repairs++
+	var out uint32
+	if sw.DPID == v2 {
+		out = deliverPort
+	} else {
+		out = a.ov.meshPort[[2]uint64{sw.DPID, v2}]
+		if h := a.C.Switch(v2); h != nil {
+			h.InstallFlow(a.vsRule(exactMatch(key), deliverPort))
+		}
+	}
+	sw.InstallFlow(a.vsRule(exactMatch(key), out))
+	if len(pin.Data) > 0 {
+		sw.SendPacketOut(&openflow.PacketOut{
+			BufferID: 0xffffffff,
+			InPort:   openflow.PortController,
+			Actions:  []openflow.Action{openflow.OutputAction(out)},
+			Data:     pin.Data,
+		})
+	}
+	if fi != nil && fi.OnOverlay {
+		fi.OverlayVSwitch = sw.DPID
+	}
+	return true
+}
+
+// withdraw executes §5.5: pin the overlay flows of this switch with
+// explicit offload rules (so they continue uninterrupted), then remove the
+// default offload rules; new flows punt to the controller again.
+func (a *App) withdraw(dpid uint64) {
+	st := a.protected[dpid]
+	if st == nil || !st.active {
+		return
+	}
+	h := a.C.Switch(dpid)
+	if h == nil {
+		return
+	}
+	sched := a.sched(dpid)
+	for _, fi := range a.C.FlowDB.OverlayFlows() {
+		if fi.FirstHop != dpid {
+			continue
+		}
+		fi := fi
+		sched.SubmitAdmitted(func() {
+			acts := make([]openflow.Action, 0, 2)
+			if a.Cfg.TunnelType == device.TunnelGRE {
+				acts = append(acts, openflow.SetTunnelAction(uint64(fi.IngressPort)))
+			} else {
+				acts = append(acts, openflow.PushMPLSAction(fi.IngressPort))
+			}
+			acts = append(acts, openflow.GroupAction(offloadGroupID))
+			h.InstallFlow(&openflow.FlowMod{
+				Command:     openflow.FlowAdd,
+				TableID:     0,
+				Priority:    prioPin,
+				IdleTimeout: uint16(a.Cfg.RuleIdleTimeout / time.Second),
+				Match:       exactMatch(fi.Key),
+				Instructions: []openflow.Instruction{
+					openflow.ApplyActions(acts...),
+				},
+			})
+			a.Stats.Pinned++
+		})
+	}
+	a.ov.deactivate(dpid)
+	st.belowCount = 0
+}
+
+// vsRule builds a per-flow rule at a mesh vSwitch.
+func (a *App) vsRule(match openflow.Match, outPort uint32) *openflow.FlowMod {
+	return a.vsRuleTun(match, outPort, 0)
+}
+
+// vsRuleTun builds a per-flow vSwitch rule additionally constrained to
+// packets arriving from a specific tunnel (used on middlebox chains).
+func (a *App) vsRuleTun(match openflow.Match, outPort uint32, tunnelID uint64) *openflow.FlowMod {
+	prio := uint16(prioVSwitch)
+	if tunnelID != 0 {
+		match.Fields |= openflow.FieldTunnelID
+		match.TunnelID = tunnelID
+		prio = prioVSwitch + 1
+	}
+	return &openflow.FlowMod{
+		Command:     openflow.FlowAdd,
+		TableID:     0,
+		Priority:    prio,
+		IdleTimeout: uint16(a.Cfg.RuleIdleTimeout / time.Second),
+		Flags:       openflow.FlagSendFlowRem,
+		Match:       match,
+		Instructions: []openflow.Instruction{
+			openflow.ApplyActions(openflow.OutputAction(outPort)),
+		},
+	}
+}
+
+// HandleFlowRemoved implements controller.FlowRemovedHandler: when a
+// flow's vSwitch rule idles out, the flow has ended and its Flow Info
+// Database record is retired. Without this, long-dead mice would be
+// pinned during withdrawal (§5.5 pins only the flows "currently being
+// routed over the Scotch overlay"). Only vSwitch rules carry the
+// send-flow-removed flag, so the hardware control path stays unburdened.
+func (a *App) HandleFlowRemoved(sw *controller.SwitchHandle, fr *openflow.FlowRemoved) {
+	if fr.Reason == openflow.RemovedDelete {
+		return // explicit deletes are reconfiguration, not flow death
+	}
+	key, ok := keyFromMatch(&fr.Match)
+	if !ok {
+		return
+	}
+	a.C.FlowDB.Delete(key)
+	delete(a.migrating, key)
+}
+
+// policyPath computes the physical path for a flow, honoring its
+// middlebox chain when one is configured.
+func (a *App) policyPath(origin uint64, key netaddr.FlowKey) ([]topo.Hop, []uint64, bool) {
+	if a.Cfg.Policy != nil {
+		if chain := a.Cfg.Policy(key); len(chain) > 0 {
+			return a.policyPathVia(origin, key, chain)
+		}
+	}
+	hops, ok := a.C.Net.Path(origin, key.Dst)
+	return hops, nil, ok
+}
+
+func exactMatch(k netaddr.FlowKey) openflow.Match {
+	m := openflow.Match{
+		Fields:  openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Src | openflow.FieldIPv4Dst,
+		EthType: packet.EtherTypeIPv4,
+		IPProto: k.Proto,
+		IPv4Src: k.Src,
+		IPv4Dst: k.Dst,
+	}
+	switch k.Proto {
+	case netaddr.ProtoTCP:
+		m.Fields |= openflow.FieldTCPSrc | openflow.FieldTCPDst
+		m.TCPSrc, m.TCPDst = k.SrcPort, k.DstPort
+	case netaddr.ProtoUDP:
+		m.Fields |= openflow.FieldUDPSrc | openflow.FieldUDPDst
+		m.UDPSrc, m.UDPDst = k.SrcPort, k.DstPort
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event heap. All model
+// components (switches, links, traffic generators, the controller) schedule
+// callbacks on a single Engine, so an entire experiment is a deterministic,
+// seedable, single-goroutine program: running the same configuration twice
+// produces byte-identical results.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp, expressed as a duration since the start of
+// the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events are ordered by time, then by
+// scheduling sequence number so that events scheduled earlier for the same
+// instant run first.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Cancel prevents the event's callback from running. Canceling an event
+// that already fired (or was already canceled) is a no-op.
+func (ev *Event) Cancel() {
+	if ev != nil {
+		ev.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (ev *Event) Canceled() bool { return ev != nil && ev.canceled }
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	fired   uint64
+}
+
+// New returns an Engine whose random source is seeded with seed, so that
+// simulations are reproducible.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's seeded random source. All model randomness must
+// come from here to keep runs reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule runs fn after delay d of virtual time. A negative delay is
+// treated as zero. It returns the Event so the caller may cancel it.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute virtual time t. Scheduling in the past panics:
+// it is always a model bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop makes Run and RunUntil return after the currently executing event.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(1<<62 - 1)
+}
+
+// RunUntil executes events with timestamps <= end, then advances the clock
+// to end (if the queue drained earlier). It returns the number of events
+// fired during this call.
+func (e *Engine) RunUntil(end Time) uint64 {
+	e.stopped = false
+	start := e.fired
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > end {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.at
+		if next.canceled {
+			continue
+		}
+		e.fired++
+		next.fn()
+	}
+	if !e.stopped && e.now < end && end < 1<<62-1 {
+		e.now = end
+	}
+	return e.fired - start
+}
+
+// Ticker repeatedly schedules a callback at a fixed interval until stopped.
+type Ticker struct {
+	eng      *Engine
+	interval time.Duration
+	fn       func()
+	ev       *Event
+	stopped  bool
+}
+
+// Every runs fn every interval of virtual time, first firing one interval
+// from now. It panics if interval is not positive.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	t := &Ticker{eng: e, interval: interval, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future ticks. It is safe to call multiple times and from
+// within the tick callback.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	t.ev.Cancel()
+}

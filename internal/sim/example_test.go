@@ -1,0 +1,43 @@
+package sim_test
+
+import (
+	"fmt"
+	"time"
+
+	"scotch/internal/sim"
+)
+
+// A minimal simulation: two events and a rate-limited server.
+func Example() {
+	eng := sim.New(1)
+
+	eng.Schedule(10*time.Millisecond, func() {
+		fmt.Println("first event at", eng.Now())
+	})
+
+	srv := sim.NewServer(eng, 100, 10, func(v any) {
+		fmt.Printf("served %v at %v\n", v, eng.Now())
+	})
+	eng.Schedule(20*time.Millisecond, func() { srv.Submit("job") })
+
+	eng.RunUntil(time.Second)
+	// Output:
+	// first event at 10ms
+	// served job at 30ms
+}
+
+// Tickers fire repeatedly on the virtual clock until stopped.
+func ExampleEngine_Every() {
+	eng := sim.New(1)
+	n := 0
+	var tk *sim.Ticker
+	tk = eng.Every(5*time.Millisecond, func() {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	eng.RunUntil(time.Second)
+	fmt.Println(n, "ticks, clock at", eng.Now())
+	// Output: 3 ticks, clock at 1s
+}

@@ -1,0 +1,143 @@
+package sim
+
+import "time"
+
+// TokenBucket is a classic token-bucket rate limiter driven by the virtual
+// clock. Rate is in tokens per second; Burst is the bucket depth.
+type TokenBucket struct {
+	Rate   float64
+	Burst  float64
+	tokens float64
+	last   Time
+	primed bool
+}
+
+// NewTokenBucket returns a bucket that starts full.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	return &TokenBucket{Rate: rate, Burst: burst, tokens: burst, primed: true}
+}
+
+func (tb *TokenBucket) refill(now Time) {
+	if !tb.primed {
+		tb.tokens = tb.Burst
+		tb.primed = true
+	} else if now > tb.last {
+		tb.tokens += tb.Rate * (now - tb.last).Seconds()
+		if tb.tokens > tb.Burst {
+			tb.tokens = tb.Burst
+		}
+	}
+	tb.last = now
+}
+
+// Take consumes n tokens if available at virtual time now and reports
+// whether it succeeded.
+func (tb *TokenBucket) Take(now Time, n float64) bool {
+	tb.refill(now)
+	if tb.tokens+1e-9 < n {
+		return false
+	}
+	tb.tokens -= n
+	return true
+}
+
+// Tokens returns the number of tokens available at virtual time now.
+func (tb *TokenBucket) Tokens(now Time) float64 {
+	tb.refill(now)
+	return tb.tokens
+}
+
+// ServerStats counts a Server's activity.
+type ServerStats struct {
+	Submitted uint64 // items offered to the server
+	Served    uint64 // items whose processing completed
+	Dropped   uint64 // items rejected because the queue was full
+}
+
+// Server models a single work-conserving service station with a finite FIFO
+// queue and a fixed service rate (items per second): the standard model for
+// a CPU-limited agent such as a switch's OpenFlow Agent. Items that arrive
+// when the queue is full are dropped.
+type Server struct {
+	eng     *Engine
+	rate    float64
+	cap     int
+	queue   []any
+	busy    bool
+	process func(v any)
+	onDrop  func(v any)
+	stats   ServerStats
+}
+
+// NewServer returns a server processing items at rate items/second with a
+// queue holding up to queueCap items (excluding the one in service).
+// process is invoked when an item finishes service. rate must be positive.
+func NewServer(eng *Engine, rate float64, queueCap int, process func(v any)) *Server {
+	if rate <= 0 {
+		panic("sim: non-positive server rate")
+	}
+	if queueCap < 0 {
+		queueCap = 0
+	}
+	return &Server{eng: eng, rate: rate, cap: queueCap, process: process}
+}
+
+// OnDrop registers a callback invoked with each item dropped due to queue
+// overflow.
+func (s *Server) OnDrop(fn func(v any)) { s.onDrop = fn }
+
+// SetRate changes the service rate for items entering service from now on.
+func (s *Server) SetRate(rate float64) {
+	if rate <= 0 {
+		panic("sim: non-positive server rate")
+	}
+	s.rate = rate
+}
+
+// Rate returns the current service rate in items per second.
+func (s *Server) Rate() float64 { return s.rate }
+
+// QueueLen returns the number of queued items (excluding any in service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Busy reports whether an item is currently in service.
+func (s *Server) Busy() bool { return s.busy }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// Submit offers an item to the server. It returns false (and counts a drop)
+// if the queue is full.
+func (s *Server) Submit(v any) bool {
+	s.stats.Submitted++
+	if !s.busy {
+		s.serve(v)
+		return true
+	}
+	if len(s.queue) >= s.cap {
+		s.stats.Dropped++
+		if s.onDrop != nil {
+			s.onDrop(v)
+		}
+		return false
+	}
+	s.queue = append(s.queue, v)
+	return true
+}
+
+func (s *Server) serve(v any) {
+	s.busy = true
+	d := time.Duration(float64(time.Second) / s.rate)
+	s.eng.Schedule(d, func() {
+		s.stats.Served++
+		s.process(v)
+		if len(s.queue) > 0 {
+			next := s.queue[0]
+			copy(s.queue, s.queue[1:])
+			s.queue = s.queue[:len(s.queue)-1]
+			s.serve(next)
+		} else {
+			s.busy = false
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package topo
+
+import (
+	"fmt"
+	"time"
+
+	"scotch/internal/device"
+	"scotch/internal/netaddr"
+	"scotch/internal/sim"
+)
+
+// Testbed reproduces the paper's Fig. 2 experiment setup: one switch under
+// test with an attacker, a client, and a server on its data ports.
+type Testbed struct {
+	Net      *Network
+	Switch   *device.Switch
+	Attacker *device.Host
+	Client   *device.Host
+	Server   *device.Host
+}
+
+// NewTestbed builds the single-switch testbed with the given profile.
+func NewTestbed(eng *sim.Engine, prof device.Profile) *Testbed {
+	n := New(eng)
+	sw := n.AddSwitch("sut", prof)
+	link := device.LinkConfig{Delay: 50 * time.Microsecond}
+	tb := &Testbed{
+		Net:      n,
+		Switch:   sw,
+		Attacker: n.AddHost("attacker", netaddr.MakeIPv4(10, 0, 0, 66)),
+		Client:   n.AddHost("client", netaddr.MakeIPv4(10, 0, 0, 10)),
+		Server:   n.AddHost("server", netaddr.MakeIPv4(10, 0, 1, 1)),
+	}
+	n.AttachHost(tb.Attacker, sw, link)
+	n.AttachHost(tb.Client, sw, link)
+	n.AttachHost(tb.Server, sw, link)
+	return tb
+}
+
+// LeafSpineConfig shapes a data-center fabric.
+type LeafSpineConfig struct {
+	Spines       int
+	Leaves       int
+	HostsPerLeaf int
+	// VSwitchesPerLeaf is the size of the per-rack Scotch vSwitch pool
+	// (the paper suggests "two Scotch vswitches at each rack").
+	VSwitchesPerLeaf int
+
+	LeafProfile    device.Profile // hardware ToR switches
+	SpineProfile   device.Profile
+	VSwitchProfile device.Profile
+
+	FabricDelay time.Duration // leaf-spine link delay
+	EdgeDelay   time.Duration // host/vswitch attachment delay
+	FabricBps   float64
+	EdgeBps     float64
+}
+
+// DefaultLeafSpineConfig returns the configuration used by the paper-scale
+// experiments: Pica8 ToRs, OVS vSwitch pool, 10G fabric.
+func DefaultLeafSpineConfig() LeafSpineConfig {
+	return LeafSpineConfig{
+		Spines:           2,
+		Leaves:           4,
+		HostsPerLeaf:     4,
+		VSwitchesPerLeaf: 2,
+		LeafProfile:      device.Pica8Profile(),
+		SpineProfile:     device.Pica8Profile(),
+		VSwitchProfile:   device.OVSProfile(),
+		FabricDelay:      100 * time.Microsecond,
+		EdgeDelay:        20 * time.Microsecond,
+		FabricBps:        10e9,
+		EdgeBps:          1e9,
+	}
+}
+
+// LeafSpine is a built data-center fabric.
+type LeafSpine struct {
+	Net       *Network
+	Spines    []*device.Switch
+	Leaves    []*device.Switch
+	Hosts     [][]*device.Host // [leaf][i]
+	VSwitches []*device.Switch // the Scotch pool, grouped per leaf
+	VSwitchAt map[uint64]int   // vswitch dpid -> leaf index
+	HostLeaf  map[netaddr.IPv4]int
+}
+
+// HostIP returns the address assigned to host i of the given leaf.
+func HostIP(leaf, i int) netaddr.IPv4 {
+	return netaddr.MakeIPv4(10, byte(leaf+1), 0, byte(i+10))
+}
+
+// NewLeafSpine builds the fabric.
+func NewLeafSpine(eng *sim.Engine, cfg LeafSpineConfig) *LeafSpine {
+	n := New(eng)
+	ls := &LeafSpine{
+		Net:       n,
+		VSwitchAt: make(map[uint64]int),
+		HostLeaf:  make(map[netaddr.IPv4]int),
+	}
+	for s := 0; s < cfg.Spines; s++ {
+		ls.Spines = append(ls.Spines, n.AddSwitch(fmt.Sprintf("spine%d", s), cfg.SpineProfile))
+	}
+	fabric := device.LinkConfig{Delay: cfg.FabricDelay, RateBps: cfg.FabricBps}
+	edge := device.LinkConfig{Delay: cfg.EdgeDelay, RateBps: cfg.EdgeBps}
+	for l := 0; l < cfg.Leaves; l++ {
+		leaf := n.AddSwitch(fmt.Sprintf("leaf%d", l), cfg.LeafProfile)
+		ls.Leaves = append(ls.Leaves, leaf)
+		for _, sp := range ls.Spines {
+			n.LinkSwitches(leaf, sp, fabric)
+		}
+		var hosts []*device.Host
+		for i := 0; i < cfg.HostsPerLeaf; i++ {
+			ip := HostIP(l, i)
+			h := n.AddHost(fmt.Sprintf("h%d-%d", l, i), ip)
+			n.AttachHost(h, leaf, edge)
+			hosts = append(hosts, h)
+			ls.HostLeaf[ip] = l
+		}
+		ls.Hosts = append(ls.Hosts, hosts)
+		for v := 0; v < cfg.VSwitchesPerLeaf; v++ {
+			vs := n.AddSwitch(fmt.Sprintf("vs%d-%d", l, v), cfg.VSwitchProfile)
+			n.LinkSwitches(leaf, vs, edge)
+			ls.VSwitches = append(ls.VSwitches, vs)
+			ls.VSwitchAt[vs.DPID] = l
+		}
+	}
+	return ls
+}
+
+// Linear builds a chain of n switches with one host at each end, useful
+// for middlebox and latency experiments.
+type Linear struct {
+	Net      *Network
+	Switches []*device.Switch
+	Left     *device.Host
+	Right    *device.Host
+}
+
+// NewLinear builds the chain with the given per-switch profile.
+func NewLinear(eng *sim.Engine, nsw int, prof device.Profile, linkDelay time.Duration) *Linear {
+	n := New(eng)
+	ln := &Linear{Net: n}
+	cfg := device.LinkConfig{Delay: linkDelay}
+	for i := 0; i < nsw; i++ {
+		sw := n.AddSwitch(fmt.Sprintf("s%d", i), prof)
+		if i > 0 {
+			n.LinkSwitches(ln.Switches[i-1], sw, cfg)
+		}
+		ln.Switches = append(ln.Switches, sw)
+	}
+	ln.Left = n.AddHost("left", netaddr.MakeIPv4(10, 0, 0, 1))
+	ln.Right = n.AddHost("right", netaddr.MakeIPv4(10, 0, 1, 1))
+	n.AttachHost(ln.Left, ln.Switches[0], cfg)
+	n.AttachHost(ln.Right, ln.Switches[nsw-1], cfg)
+	return ln
+}

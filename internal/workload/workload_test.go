@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"scotch/internal/capture"
+	"scotch/internal/device"
+	"scotch/internal/netaddr"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+)
+
+func pair(eng *sim.Engine) (*device.Host, *device.Host) {
+	h1 := device.NewHost(eng, "src", netaddr.MakeIPv4(10, 0, 0, 1), netaddr.MakeMAC(1))
+	h2 := device.NewHost(eng, "dst", netaddr.MakeIPv4(10, 0, 1, 1), netaddr.MakeMAC(2))
+	device.Connect(eng, h1, 1, h2, 1, device.LinkConfig{})
+	return h1, h2
+}
+
+func TestEmitterMultiPacketFlow(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := pair(eng)
+	cap := capture.New(eng)
+	cap.Attach(h2)
+	em := NewEmitter(eng, h1, cap)
+	key := netaddr.FlowKey{Src: h1.IP, Dst: h2.IP, Proto: netaddr.ProtoTCP, SrcPort: 1000, DstPort: 80}
+	em.Start(Flow{Key: key, Packets: 5, Interval: 10 * time.Millisecond, Class: "client"})
+	eng.RunUntil(time.Second)
+
+	flows := cap.Flows("client")
+	if len(flows) != 1 {
+		t.Fatalf("flows = %d", len(flows))
+	}
+	f := flows[0]
+	if f.PacketsSent != 5 || f.PacketsRecv != 5 {
+		t.Fatalf("sent/recv = %d/%d", f.PacketsSent, f.PacketsRecv)
+	}
+	if !f.Completed() {
+		t.Fatal("flow not completed")
+	}
+	if cap.FailureFraction("client") != 0 {
+		t.Fatal("failure fraction nonzero")
+	}
+	if cap.CompletionFraction("client") != 1 {
+		t.Fatal("completion fraction != 1")
+	}
+}
+
+func TestDDoSRateAndSpoofing(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := pair(eng)
+	cap := capture.New(eng)
+	em := NewEmitter(eng, h1, cap)
+	var srcs []netaddr.IPv4
+	h2.OnReceive = nil
+	prev := h1.Send
+	_ = prev
+	d := StartDDoS(em, h2.IP, 500)
+	eng.Schedule(2*time.Second, d.Stop)
+	eng.RunUntil(3 * time.Second)
+
+	flows := cap.Flows("attack")
+	if len(flows) < 880 || len(flows) > 1120 {
+		t.Fatalf("attack flows = %d, want ~1000", len(flows))
+	}
+	seen := map[netaddr.FlowKey]bool{}
+	for _, f := range flows {
+		if seen[f.Key] {
+			t.Fatalf("duplicate spoofed key %v", f.Key)
+		}
+		seen[f.Key] = true
+		srcs = append(srcs, f.Key.Src)
+		if f.Key.Src == h1.IP {
+			t.Fatal("attack used real source address")
+		}
+	}
+	_ = srcs
+}
+
+func TestClientGenClass(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := pair(eng)
+	cap := capture.New(eng)
+	cap.Attach(h2)
+	em := NewEmitter(eng, h1, cap)
+	g := StartClient(em, h2.IP, 100, 1, 0)
+	eng.Schedule(time.Second, g.Stop)
+	eng.RunUntil(2 * time.Second)
+	sent, delivered := cap.Counts("client")
+	if sent < 75 || sent > 125 {
+		t.Fatalf("client flows = %d, want ~100", sent)
+	}
+	if delivered != sent {
+		t.Fatalf("delivered %d/%d on loss-free link", delivered, sent)
+	}
+	for _, f := range cap.Flows("client") {
+		if f.Key.Src != h1.IP {
+			t.Fatal("client spoofed its source")
+		}
+	}
+}
+
+func TestFlashCrowdEnvelope(t *testing.T) {
+	eng := sim.New(1)
+	fc := FlashCrowd{
+		Base: 100, Peak: 1000,
+		RampStart: 2 * time.Second, PeakStart: 4 * time.Second,
+		PeakEnd: 6 * time.Second, RampEnd: 8 * time.Second,
+	}
+	count := 0
+	f := StartFlashCrowd(eng, fc, func() { count++ })
+	if r := f.RateAt(0); r != 100 {
+		t.Fatalf("rate(0) = %v", r)
+	}
+	if r := f.RateAt(3 * time.Second); math.Abs(r-550) > 1 {
+		t.Fatalf("rate(3s) = %v, want 550", r)
+	}
+	if r := f.RateAt(5 * time.Second); r != 1000 {
+		t.Fatalf("rate(5s) = %v", r)
+	}
+	if r := f.RateAt(7 * time.Second); math.Abs(r-550) > 1 {
+		t.Fatalf("rate(7s) = %v", r)
+	}
+	if r := f.RateAt(10 * time.Second); r != 100 {
+		t.Fatalf("rate(10s) = %v", r)
+	}
+	eng.RunUntil(10 * time.Second)
+	f.Stop()
+	// Integral: 2s*100 + ramp 2s*550 + 2s*1000 + ramp 2s*550 + 2s*100 = 4600.
+	if count < 4400 || count > 4800 {
+		t.Fatalf("flash crowd spawned %d flows, want ~4600", count)
+	}
+}
+
+func TestParetoSizeHeavyTail(t *testing.T) {
+	eng := sim.New(7)
+	rng := eng.Rand()
+	const n = 20000
+	sizes := make([]int, n)
+	totalPkts := 0
+	for i := range sizes {
+		sizes[i] = ParetoSize(rng.Float64(), 1.2, 1, 2000)
+		if sizes[i] < 1 || sizes[i] > 2000 {
+			t.Fatalf("size %d out of bounds", sizes[i])
+		}
+		totalPkts += sizes[i]
+	}
+	// Heavy tail: the top 10% of flows must carry the majority of packets.
+	big := 0
+	for _, s := range sizes {
+		if s >= 10 {
+			big += s
+		}
+	}
+	if frac := float64(big) / float64(totalPkts); frac < 0.5 {
+		t.Fatalf("large flows carry %.2f of packets, want > 0.5", frac)
+	}
+	// But most flows are small (mice dominate by count).
+	small := 0
+	for _, s := range sizes {
+		if s < 10 {
+			small++
+		}
+	}
+	if frac := float64(small) / n; frac < 0.7 {
+		t.Fatalf("mice fraction = %.2f, want > 0.7", frac)
+	}
+}
+
+func TestTraceGen(t *testing.T) {
+	eng := sim.New(3)
+	h1, h2 := pair(eng)
+	cap := capture.New(eng)
+	cap.Attach(h2)
+	tg := &TraceGen{
+		Eng:     eng,
+		Sources: []*Emitter{NewEmitter(eng, h1, cap)},
+		Dsts:    []netaddr.IPv4{h2.IP},
+		Rate:    200,
+		MaxPkts: 50,
+		PktIval: time.Millisecond,
+	}
+	tg.Start()
+	eng.Schedule(2*time.Second, tg.Stop)
+	eng.RunUntil(3 * time.Second)
+	flows := cap.Flows("trace")
+	if len(flows) < 330 || len(flows) > 470 {
+		t.Fatalf("trace flows = %d, want ~400", len(flows))
+	}
+	multi := 0
+	for _, f := range flows {
+		if f.PacketsSent > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Fatal("no multi-packet flows in trace")
+	}
+}
+
+func TestEmitterStampsMetaAndSYN(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := pair(eng)
+	var pkts []*packet.Packet
+	h2.OnReceive = func(p *packet.Packet, _ sim.Time) { pkts = append(pkts, p) }
+	em := NewEmitter(eng, h1, capture.New(eng))
+	key := netaddr.FlowKey{Src: h1.IP, Dst: h2.IP, Proto: netaddr.ProtoTCP, SrcPort: 9, DstPort: 80}
+	em.Start(Flow{Key: key, Packets: 3, Interval: time.Millisecond, Class: "x"})
+	eng.RunUntil(time.Second)
+	if len(pkts) != 3 {
+		t.Fatalf("pkts = %d", len(pkts))
+	}
+	if pkts[0].TCP.Flags&packet.FlagSYN == 0 {
+		t.Fatal("first packet not SYN")
+	}
+	if pkts[1].TCP.Flags&packet.FlagSYN != 0 {
+		t.Fatal("second packet is SYN")
+	}
+	for i, p := range pkts {
+		if p.Meta.Seq != i || p.Meta.FlowID == 0 {
+			t.Fatalf("meta wrong on packet %d: %+v", i, p.Meta)
+		}
+	}
+}
+
+func TestResponder(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := pair(eng)
+	cap := capture.New(eng)
+	cap.Attach(h1)
+	cap.Attach(h2)
+	r := AttachResponder(eng, h2, cap, "resp")
+
+	em := NewEmitter(eng, h1, cap)
+	k := netaddr.FlowKey{Src: h1.IP, Dst: h2.IP, Proto: netaddr.ProtoTCP, SrcPort: 100, DstPort: 80}
+	em.Start(Flow{Key: k, Packets: 3, Interval: time.Millisecond, Class: "req"})
+	eng.RunUntil(time.Second)
+
+	if r.Sent != 3 {
+		t.Fatalf("responses sent = %d, want 3", r.Sent)
+	}
+	flows := cap.Flows("resp")
+	if len(flows) != 1 {
+		t.Fatalf("response flows = %d, want 1 (one reverse flow)", len(flows))
+	}
+	if flows[0].Key != k.Reverse() {
+		t.Fatalf("response key = %v", flows[0].Key)
+	}
+	if flows[0].PacketsRecv != 3 {
+		t.Fatalf("responses delivered = %d", flows[0].PacketsRecv)
+	}
+}
+
+func TestResponderFilter(t *testing.T) {
+	eng := sim.New(1)
+	h1, h2 := pair(eng)
+	cap := capture.New(eng)
+	cap.Attach(h2)
+	r := AttachResponder(eng, h2, cap, "resp")
+	r.RespondTo = func(src netaddr.IPv4) bool { return false }
+	em := NewEmitter(eng, h1, cap)
+	k := netaddr.FlowKey{Src: h1.IP, Dst: h2.IP, Proto: netaddr.ProtoTCP, SrcPort: 100, DstPort: 80}
+	em.Start(Flow{Key: k, Packets: 2, Interval: time.Millisecond, Class: "req"})
+	eng.RunUntil(time.Second)
+	if r.Sent != 0 {
+		t.Fatalf("filtered responder sent %d", r.Sent)
+	}
+}
