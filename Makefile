@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test short race vet bench bench-report clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: the full test suite (includes determinism properties over the
+# fast experiments; set SCOTCH_DETERMINISM_ALL=1 to cover every experiment).
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# Race gate: everything that spawns goroutines (ofnet live switches, the
+# parallel experiment runner) must be clean under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Micro + macro benchmarks with allocation counts.
+bench:
+	$(GO) test -run xxx -bench 'ScheduleFire|LookupHit|LookupMiss' -benchmem ./internal/sim/ ./internal/flowtable/
+	$(GO) test -run xxx -bench 'Suite' -benchmem .
+
+# Regenerate BENCH_scotch.json: the full suite serial vs parallel.
+bench-report:
+	$(GO) run ./cmd/scotchsim bench -out BENCH_scotch.json
+
+clean:
+	$(GO) clean ./...

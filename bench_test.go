@@ -9,11 +9,47 @@
 package scotch_test
 
 import (
+	"context"
 	"io"
+	"runtime"
 	"testing"
 
 	"scotch/internal/experiments"
 )
+
+func suiteIDs() []string {
+	var ids []string
+	for _, e := range experiments.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// BenchmarkSuiteSerial runs every registered experiment back to back on one
+// worker: the baseline for the parallel runner's speedup.
+func BenchmarkSuiteSerial(b *testing.B) {
+	ids := suiteIDs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(context.Background(), ids, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSuiteParallel runs the full suite on a runtime.NumCPU()-worker
+// pool. Each experiment owns a private engine, so per-op wall time shrinks
+// toward the longest single experiment as cores are added while the
+// concatenated output stays byte-identical to the serial run.
+func BenchmarkSuiteParallel(b *testing.B) {
+	ids := suiteIDs()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(context.Background(), ids, runtime.NumCPU()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()

@@ -2,67 +2,114 @@
 //
 // Usage:
 //
-//	scotchsim list             list experiment ids
-//	scotchsim run <id>...      run specific experiments (e.g. fig3 fig11)
-//	scotchsim all              run every experiment
+//	scotchsim [-parallel N] list             list experiment ids
+//	scotchsim [-parallel N] run <id>...      run specific experiments (e.g. fig3 fig11)
+//	scotchsim [-parallel N] all              run every experiment
+//	scotchsim [-parallel N] bench [-out F]   measure the suite, write BENCH_scotch.json
+//
+// Experiments execute on a worker pool of -parallel workers (default:
+// runtime.NumCPU()). Each experiment owns a private deterministic engine,
+// so the concatenated output is byte-identical to a serial run regardless
+// of parallelism; only the per-experiment wall-time lines vary.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"scotch/internal/bench"
 	"scotch/internal/experiments"
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	parallel := flag.Int("parallel", runtime.NumCPU(), "number of experiments to run concurrently")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
 	}
-	switch os.Args[1] {
+	switch flag.Arg(0) {
 	case "list":
 		for _, e := range experiments.All() {
 			fmt.Printf("%-28s %s\n", e.ID, e.Title)
 		}
 	case "all":
+		var ids []string
 		for _, e := range experiments.All() {
-			if err := runOne(e.ID); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
-			}
+			ids = append(ids, e.ID)
 		}
+		runIDs(ids, *parallel)
 	case "run":
-		if len(os.Args) < 3 {
+		if flag.NArg() < 2 {
 			usage()
 			os.Exit(2)
 		}
-		for _, id := range os.Args[2:] {
-			if err := runOne(id); err != nil {
-				fmt.Fprintln(os.Stderr, "error:", err)
-				os.Exit(1)
-			}
-		}
+		runIDs(flag.Args()[1:], *parallel)
+	case "bench":
+		benchCmd(flag.Args()[1:], *parallel)
 	default:
 		usage()
 		os.Exit(2)
 	}
 }
 
-func runOne(id string) error {
-	e, ok := experiments.ByID(id)
-	if !ok {
-		return fmt.Errorf("unknown experiment %q (try 'scotchsim list')", id)
+// runIDs executes experiments on the worker pool and streams each result in
+// submission order: the experiment's captured output (banner + table),
+// followed by a wall-time line. Output bytes are identical at any
+// parallelism; timings naturally vary.
+func runIDs(ids []string, parallel int) {
+	results, err := experiments.RunAll(context.Background(), ids, parallel)
+	for _, r := range results {
+		if r.ID == "" {
+			continue // never started: an earlier experiment failed
+		}
+		os.Stdout.Write(r.Output)
+		if r.Err == nil {
+			fmt.Printf("(%s completed in %v wall time)\n\n", r.ID, r.Wall.Round(time.Millisecond))
+		}
 	}
-	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
-	start := time.Now()
-	if err := e.Run(os.Stdout); err != nil {
-		return fmt.Errorf("%s: %w", e.ID, err)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
-	fmt.Printf("(%s completed in %v wall time)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	return nil
+}
+
+func benchCmd(args []string, parallel int) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	out := fs.String("out", "BENCH_scotch.json", "report output path")
+	fs.Parse(args)
+
+	ids := fs.Args()
+	fmt.Fprintf(os.Stderr, "benchmarking %s serially, then with %d workers...\n",
+		describe(ids), parallel)
+	report, err := bench.Collect(context.Background(), ids, parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	if err := report.WriteFile(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("serial %v, parallel %v on %d workers (%d cores): %.2fx speedup, outputs identical: %v\n",
+		time.Duration(report.SerialWallNs).Round(time.Millisecond),
+		time.Duration(report.ParallelWallNs).Round(time.Millisecond),
+		report.Parallelism, report.Cores, report.Speedup, report.OutputIdentical)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func describe(ids []string) string {
+	if len(ids) == 0 {
+		return "the full suite"
+	}
+	return fmt.Sprintf("%d experiments", len(ids))
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: scotchsim list | all | run <id>...")
+	fmt.Fprintln(os.Stderr, `usage: scotchsim [-parallel N] list | all | run <id>... | bench [-out file] [id...]`)
 }

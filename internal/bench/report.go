@@ -1,0 +1,122 @@
+// Package bench measures the experiment suite and writes a machine-readable
+// performance report (BENCH_scotch.json), so successive PRs can track the
+// perf trajectory: per-experiment wall time and allocation cost, plus the
+// wall-clock speedup of the parallel runner over a serial run.
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"scotch/internal/experiments"
+)
+
+// ExperimentResult is one experiment's measured cost. An "op" is one full
+// run of the experiment (the regeneration of one paper figure/table).
+type ExperimentResult struct {
+	ID          string `json:"id"`
+	NsPerOp     int64  `json:"ns_per_op"`     // serial wall time per run
+	AllocsPerOp uint64 `json:"allocs_per_op"` // heap allocations per run
+	BytesPerOp  uint64 `json:"bytes_per_op"`  // heap bytes per run
+	ParallelNs  int64  `json:"parallel_ns"`   // wall time on its worker in the parallel run
+	OutputBytes int    `json:"output_bytes"`  // size of the experiment's output
+}
+
+// Report is the schema of BENCH_scotch.json.
+type Report struct {
+	SchemaVersion   int                `json:"schema_version"`
+	GoVersion       string             `json:"go_version"`
+	Cores           int                `json:"cores"`
+	Parallelism     int                `json:"parallelism"`
+	SerialWallNs    int64              `json:"serial_wall_ns"`
+	ParallelWallNs  int64              `json:"parallel_wall_ns"`
+	Speedup         float64            `json:"speedup"` // serial wall / parallel wall
+	OutputIdentical bool               `json:"output_identical"`
+	Experiments     []ExperimentResult `json:"experiments"`
+}
+
+// SchemaVersion identifies the report layout; bump on incompatible change.
+const SchemaVersion = 1
+
+// Collect runs the given experiments serially (measuring per-experiment
+// wall time and allocations) and then through the parallel runner, and
+// assembles the comparison report. ids defaults to every registered
+// experiment; parallelism <= 0 means runtime.NumCPU().
+func Collect(ctx context.Context, ids []string, parallelism int) (*Report, error) {
+	if len(ids) == 0 {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+
+	// Serial pass: parallelism 1 keeps every run single-threaded so the
+	// runtime.MemStats deltas below are attributable per experiment.
+	var ms0, ms1 runtime.MemStats
+	serial := make([]experiments.RunResult, 0, len(ids))
+	allocs := make([]uint64, 0, len(ids))
+	heap := make([]uint64, 0, len(ids))
+	serialStart := time.Now()
+	for _, id := range ids {
+		runtime.ReadMemStats(&ms0)
+		res, err := experiments.RunAll(ctx, []string{id}, 1)
+		if err != nil {
+			return nil, err
+		}
+		runtime.ReadMemStats(&ms1)
+		serial = append(serial, res[0])
+		allocs = append(allocs, ms1.Mallocs-ms0.Mallocs)
+		heap = append(heap, ms1.TotalAlloc-ms0.TotalAlloc)
+	}
+	serialWall := time.Since(serialStart)
+
+	parallelStart := time.Now()
+	parallel, err := experiments.RunAll(ctx, ids, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	parallelWall := time.Since(parallelStart)
+
+	var serialOut, parallelOut bytes.Buffer
+	experiments.WriteResults(&serialOut, serial)
+	experiments.WriteResults(&parallelOut, parallel)
+
+	r := &Report{
+		SchemaVersion:   SchemaVersion,
+		GoVersion:       runtime.Version(),
+		Cores:           runtime.NumCPU(),
+		Parallelism:     parallelism,
+		SerialWallNs:    serialWall.Nanoseconds(),
+		ParallelWallNs:  parallelWall.Nanoseconds(),
+		OutputIdentical: bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()),
+	}
+	if parallelWall > 0 {
+		r.Speedup = float64(serialWall) / float64(parallelWall)
+	}
+	for i := range serial {
+		r.Experiments = append(r.Experiments, ExperimentResult{
+			ID:          serial[i].ID,
+			NsPerOp:     serial[i].Wall.Nanoseconds(),
+			AllocsPerOp: allocs[i],
+			BytesPerOp:  heap[i],
+			ParallelNs:  parallel[i].Wall.Nanoseconds(),
+			OutputBytes: len(serial[i].Output),
+		})
+	}
+	return r, nil
+}
+
+// WriteFile writes the report as indented JSON to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

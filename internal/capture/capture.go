@@ -131,14 +131,23 @@ func (c *Capture) Attach(h *device.Host) {
 	}
 }
 
-// Flows returns the records of a class ("" = all).
+// eachFlow visits the class's records ("" = all) in flow-creation order.
+// Aggregates must not inherit map iteration order: histogram fills and
+// float sums would differ between byte-identical reruns.
+func (c *Capture) eachFlow(class string, fn func(*FlowRecord)) {
+	for id := uint64(1); id <= c.nextID; id++ {
+		f := c.flows[id]
+		if f == nil || (class != "" && f.Class != class) {
+			continue
+		}
+		fn(f)
+	}
+}
+
+// Flows returns the records of a class ("" = all), in creation order.
 func (c *Capture) Flows(class string) []*FlowRecord {
 	var out []*FlowRecord
-	for _, f := range c.flows {
-		if class == "" || f.Class == class {
-			out = append(out, f)
-		}
-	}
+	c.eachFlow(class, func(f *FlowRecord) { out = append(out, f) })
 	return out
 }
 
@@ -146,15 +155,15 @@ func (c *Capture) Flows(class string) []*FlowRecord {
 // delivered packets — the paper's headline metric.
 func (c *Capture) FailureFraction(class string) float64 {
 	sent, failed := 0, 0
-	for _, f := range c.flows {
-		if (class != "" && f.Class != class) || f.PacketsSent == 0 {
-			continue
+	c.eachFlow(class, func(f *FlowRecord) {
+		if f.PacketsSent == 0 {
+			return
 		}
 		sent++
 		if !f.Delivered() {
 			failed++
 		}
-	}
+	})
 	if sent == 0 {
 		return 0
 	}
@@ -164,13 +173,10 @@ func (c *Capture) FailureFraction(class string) float64 {
 // DeliveryRatio returns delivered packets / sent packets for a class.
 func (c *Capture) DeliveryRatio(class string) float64 {
 	var sent, recv int
-	for _, f := range c.flows {
-		if class != "" && f.Class != class {
-			continue
-		}
+	c.eachFlow(class, func(f *FlowRecord) {
 		sent += f.PacketsSent
 		recv += f.PacketsRecv
-	}
+	})
 	if sent == 0 {
 		return 0
 	}
@@ -181,15 +187,15 @@ func (c *Capture) DeliveryRatio(class string) float64 {
 // delivered every packet.
 func (c *Capture) CompletionFraction(class string) float64 {
 	n, done := 0, 0
-	for _, f := range c.flows {
-		if (class != "" && f.Class != class) || f.PacketsSent == 0 {
-			continue
+	c.eachFlow(class, func(f *FlowRecord) {
+		if f.PacketsSent == 0 {
+			return
 		}
 		n++
 		if f.Completed() {
 			done++
 		}
-	}
+	})
 	if n == 0 {
 		return 0
 	}
@@ -200,14 +206,11 @@ func (c *Capture) CompletionFraction(class string) float64 {
 // class's completed flows.
 func (c *Capture) FCT(class string) *metrics.Histogram {
 	var h metrics.Histogram
-	for _, f := range c.flows {
-		if class != "" && f.Class != class {
-			continue
-		}
+	c.eachFlow(class, func(f *FlowRecord) {
 		if f.Completed() {
 			h.AddDuration(f.LastRecv - f.FirstSent)
 		}
-	}
+	})
 	return &h
 }
 
@@ -215,27 +218,24 @@ func (c *Capture) FCT(class string) *metrics.Histogram {
 // latencies (flow setup + transit) for delivered flows of the class.
 func (c *Capture) FirstPacketLatency(class string) *metrics.Histogram {
 	var h metrics.Histogram
-	for _, f := range c.flows {
-		if class != "" && f.Class != class {
-			continue
-		}
+	c.eachFlow(class, func(f *FlowRecord) {
 		if f.Delivered() {
 			h.AddDuration(f.FirstRecv - f.FirstSent)
 		}
-	}
+	})
 	return &h
 }
 
 // Counts returns (flows sent, flows delivered) for a class.
 func (c *Capture) Counts(class string) (sent, delivered int) {
-	for _, f := range c.flows {
-		if (class != "" && f.Class != class) || f.PacketsSent == 0 {
-			continue
+	c.eachFlow(class, func(f *FlowRecord) {
+		if f.PacketsSent == 0 {
+			return
 		}
 		sent++
 		if f.Delivered() {
 			delivered++
 		}
-	}
+	})
 	return sent, delivered
 }

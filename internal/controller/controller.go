@@ -6,6 +6,7 @@
 package controller
 
 import (
+	"sort"
 	"time"
 
 	"scotch/internal/device"
@@ -112,11 +113,19 @@ func (c *Controller) Connect(sw *device.Switch) *SwitchHandle {
 	return h
 }
 
-// ConnectAll attaches every switch in the network.
+// ConnectAll attaches every switch in the network, in DPID order so the
+// handshake event sequence (and everything downstream of it) is
+// reproducible.
 func (c *Controller) ConnectAll() {
-	for _, sw := range c.Net.Switches() {
-		if _, ok := c.switches[sw.DPID]; !ok {
-			c.Connect(sw)
+	switches := c.Net.Switches()
+	dpids := make([]uint64, 0, len(switches))
+	for dpid := range switches {
+		dpids = append(dpids, dpid)
+	}
+	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
+	for _, dpid := range dpids {
+		if _, ok := c.switches[dpid]; !ok {
+			c.Connect(switches[dpid])
 		}
 	}
 }

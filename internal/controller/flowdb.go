@@ -1,6 +1,8 @@
 package controller
 
 import (
+	"sort"
+
 	"scotch/internal/netaddr"
 	"scotch/internal/sim"
 )
@@ -48,7 +50,9 @@ func (db *FlowInfoDB) Delete(key netaddr.FlowKey) { delete(db.flows, key) }
 // Len returns the number of records.
 func (db *FlowInfoDB) Len() int { return len(db.flows) }
 
-// OverlayFlows returns all records currently on the overlay.
+// OverlayFlows returns all records currently on the overlay, ordered by
+// flow key: callers act on the result (stats polls, migrations), so the
+// order must not leak map iteration nondeterminism into the simulation.
 func (db *FlowInfoDB) OverlayFlows() []*FlowInfo {
 	var out []*FlowInfo
 	for _, fi := range db.flows {
@@ -56,5 +60,23 @@ func (db *FlowInfoDB) OverlayFlows() []*FlowInfo {
 			out = append(out, fi)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
 	return out
+}
+
+// keyLess orders flow keys lexicographically (src, dst, proto, ports).
+func keyLess(a, b netaddr.FlowKey) bool {
+	if a.Src != b.Src {
+		return a.Src < b.Src
+	}
+	if a.Dst != b.Dst {
+		return a.Dst < b.Dst
+	}
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.DstPort < b.DstPort
 }

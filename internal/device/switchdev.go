@@ -42,9 +42,9 @@ type Switch struct {
 	ports    map[uint32]*Port
 	LocalIP  netaddr.IPv4 // tunnel endpoint address (GRE outer)
 
-	dataSrv     *sim.Server
-	pktInSrv    *sim.Server
-	ruleSrv     *sim.Server
+	dataSrv     *sim.Server[dataItem]
+	pktInSrv    *sim.Server[dataItem]
+	ruleSrv     *sim.Server[any]
 	insertMeter *metrics.RateMeter
 
 	ctrl   func(dpid uint64, msg []byte) // transmit to controller
@@ -76,9 +76,9 @@ func NewSwitch(eng *sim.Engine, name string, dpid uint64, prof Profile) *Switch 
 		insertMeter: metrics.NewRateMeter(time.Second, 10),
 	}
 	sw.dataSrv = sim.NewServer(eng, prof.DataPlanePPS, prof.DataQueue, sw.processData)
-	sw.dataSrv.OnDrop(func(any) { sw.Stats.DataDropped++ })
+	sw.dataSrv.OnDrop(func(dataItem) { sw.Stats.DataDropped++ })
 	sw.pktInSrv = sim.NewServer(eng, prof.PacketInRate, prof.PacketInQueue, sw.emitPacketIn)
-	sw.pktInSrv.OnDrop(func(any) { sw.Stats.PacketInDropped++ })
+	sw.pktInSrv.OnDrop(func(dataItem) { sw.Stats.PacketInDropped++ })
 	sw.ruleSrv = sim.NewServer(eng, prof.RuleInsertRate, prof.RuleQueue, sw.processRule)
 	sw.ruleSrv.OnDrop(func(any) { sw.Stats.InsertQueueDrop++ })
 	eng.Every(time.Second, sw.sweepExpired)
@@ -117,8 +117,7 @@ func (sw *Switch) Receive(pkt *packet.Packet, port *Port) {
 func (sw *Switch) InsertBacklog() int { return sw.ruleSrv.QueueLen() }
 
 // processData is the data-plane lookup stage.
-func (sw *Switch) processData(v any) {
-	it := v.(dataItem)
+func (sw *Switch) processData(it dataItem) {
 	now := sw.eng.Now()
 	// TCAM write stall (Fig. 10): drop the packet with probability equal
 	// to the fraction of time the pipeline is blocked by rule insertions.
@@ -198,8 +197,7 @@ func (sw *Switch) executeCtx(pkt *packet.Packet, inPort uint32, actions []openfl
 }
 
 // emitPacketIn is the OFA's Packet-In generation stage.
-func (sw *Switch) emitPacketIn(v any) {
-	it := v.(dataItem)
+func (sw *Switch) emitPacketIn(it dataItem) {
 	sw.Stats.PacketInSent++
 	m := openflow.Match{Fields: openflow.FieldInPort, InPort: it.port.ID}
 	if it.pkt.Meta.TunnelID != 0 {

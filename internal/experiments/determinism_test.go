@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// fastIDs are the experiments cheap enough to run repeatedly in the normal
+// test cycle (each well under ~5s). Set SCOTCH_DETERMINISM_ALL=1 to run the
+// properties over every registered experiment (several minutes).
+var fastIDs = []string{"table1", "fig4", "fig8", "fig9", "fig14"}
+
+func determinismIDs(t *testing.T) []string {
+	t.Helper()
+	if os.Getenv("SCOTCH_DETERMINISM_ALL") != "" {
+		var ids []string
+		for _, e := range All() {
+			ids = append(ids, e.ID)
+		}
+		return ids
+	}
+	if testing.Short() || raceEnabled {
+		// The race detector slows these sim-heavy runs 10-20x; two
+		// experiments still exercise the serial-vs-parallel machinery.
+		return fastIDs[:2]
+	}
+	return fastIDs
+}
+
+// TestSameSeedByteIdentical runs each experiment twice and requires
+// byte-identical output: every experiment builds its world on a freshly
+// seeded sim.Engine, so a repeat run must reproduce the exact same bytes.
+// Any divergence means nondeterminism leaked into a model (map iteration,
+// wall-clock reads, shared state across runs).
+func TestSameSeedByteIdentical(t *testing.T) {
+	for _, id := range determinismIDs(t) {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			var a, b bytes.Buffer
+			if err := e.Run(&a); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Run(&b); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a.Bytes(), b.Bytes()) {
+				t.Errorf("two runs of %s diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s",
+					id, a.String(), b.String())
+			}
+		})
+	}
+}
+
+// TestSerialParallelIdentical requires the parallel runner's concatenated
+// output to be byte-identical to a serial run of the same ids, for several
+// parallelism degrees. Goroutine interleaving must not be observable.
+func TestSerialParallelIdentical(t *testing.T) {
+	ids := determinismIDs(t)
+	serial, err := RunAll(context.Background(), ids, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteResults(&want, serial); err != nil {
+		t.Fatal(err)
+	}
+	if want.Len() == 0 {
+		t.Fatal("serial run produced no output")
+	}
+	for _, par := range []int{2, 4, len(ids)} {
+		results, err := RunAll(context.Background(), ids, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bytes.Buffer
+		if err := WriteResults(&got, results); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("parallelism %d: concatenated output differs from serial run", par)
+		}
+		for i, r := range results {
+			if r.ID != ids[i] {
+				t.Errorf("parallelism %d: result %d is %q, want %q", par, i, r.ID, ids[i])
+			}
+			if r.Wall <= 0 {
+				t.Errorf("parallelism %d: %s reported non-positive wall time", par, r.ID)
+			}
+		}
+	}
+}
+
+// TestRunAllUnknownID verifies the runner rejects unknown experiments
+// before starting any work.
+func TestRunAllUnknownID(t *testing.T) {
+	if _, err := RunAll(context.Background(), []string{"table1", "nope"}, 2); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+// TestRunAllCancellation verifies a canceled context stops the feed: with
+// parallelism 1 and a pre-canceled context, no experiment should start.
+func TestRunAllCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := RunAll(ctx, []string{"table1", "fig14"}, 1)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+	for _, r := range results {
+		if r.ID != "" {
+			t.Fatalf("experiment %s ran despite canceled context", r.ID)
+		}
+	}
+}
+
+// TestRunAllErrorPropagation temporarily registers a failing experiment and
+// checks RunAll reports its error wrapped with the experiment id, while the
+// healthy experiments before it in the id list still produce output.
+func TestRunAllErrorPropagation(t *testing.T) {
+	const id = "test-failing-experiment"
+	register(Experiment{
+		ID:    id,
+		Title: "always fails (test only)",
+		Run:   func(io.Writer) error { return errors.New("boom") },
+	})
+	defer func() {
+		delete(registry, id)
+		order = order[:len(order)-1]
+	}()
+
+	results, err := RunAll(context.Background(), []string{"table1", id}, 1)
+	if err == nil || !strings.Contains(err.Error(), id) || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v, want wrapped boom from %s", err, id)
+	}
+	if len(results) != 2 || len(results[0].Output) == 0 {
+		t.Fatalf("healthy experiment before the failure lost its output: %+v", results)
+	}
+	if results[1].Err == nil {
+		t.Fatal("failing experiment's result has nil Err")
+	}
+}

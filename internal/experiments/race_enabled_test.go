@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled trims the determinism-test workload when the race detector
+// (~10-20x slowdown on these sim-heavy tests) is on.
+const raceEnabled = true

@@ -35,6 +35,8 @@ type Rule struct {
 	Packets, Bytes uint64
 	Installed      sim.Time
 	LastHit        sim.Time
+
+	seq uint64 // table insertion order, for FIFO tie-breaks within a priority
 }
 
 // Expired reports whether the rule has timed out at virtual time now and,
@@ -144,10 +146,19 @@ func ExactMatch(k netaddr.FlowKey) openflow.Match {
 
 // Table is a single flow table: rules ordered by priority (descending),
 // FIFO within equal priority.
+//
+// Reactive forwarding installs overwhelmingly exact 5-tuple rules, so the
+// table keeps a hash index from flow key to the winning exact rule beside
+// the ordered slice. Lookup consults the index and only scans the (few)
+// wildcard rules, turning the common case from O(rules) into O(wildcards).
 type Table struct {
 	ID       uint8
 	Capacity int // maximum number of rules; 0 means unlimited
 	rules    []*Rule
+
+	seq   uint64                    // insertion counter for FIFO tie-breaks
+	exact map[netaddr.FlowKey]*Rule // winning exact 5-tuple rule per flow
+	wild  []*Rule                   // non-exact rules, same sort order as rules
 }
 
 // Len returns the number of installed rules.
@@ -157,6 +168,77 @@ func (t *Table) Len() int { return len(t.rules) }
 // must not modify it.
 func (t *Table) Rules() []*Rule { return t.rules }
 
+// exactKey reports whether m is an exact 5-tuple match — the shape
+// ExactMatch builds: EthType=IPv4, protocol, unmasked src/dst addresses,
+// and both transport ports when the protocol has them — and returns the
+// flow key it selects.
+func exactKey(m *openflow.Match) (netaddr.FlowKey, bool) {
+	const base = openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Src | openflow.FieldIPv4Dst
+	switch m.Fields {
+	case base:
+		if m.IPProto == netaddr.ProtoTCP || m.IPProto == netaddr.ProtoUDP {
+			return netaddr.FlowKey{}, false // port-wildcard rule
+		}
+	case base | openflow.FieldTCPSrc | openflow.FieldTCPDst:
+		if m.IPProto != netaddr.ProtoTCP {
+			return netaddr.FlowKey{}, false
+		}
+	case base | openflow.FieldUDPSrc | openflow.FieldUDPDst:
+		if m.IPProto != netaddr.ProtoUDP {
+			return netaddr.FlowKey{}, false
+		}
+	default:
+		return netaddr.FlowKey{}, false
+	}
+	if m.EthType != packet.EtherTypeIPv4 {
+		return netaddr.FlowKey{}, false
+	}
+	if effMask(m.IPv4SrcMask) != 0xffffffff || effMask(m.IPv4DstMask) != 0xffffffff {
+		return netaddr.FlowKey{}, false
+	}
+	k := netaddr.FlowKey{Src: m.IPv4Src, Dst: m.IPv4Dst, Proto: m.IPProto}
+	switch m.IPProto {
+	case netaddr.ProtoTCP:
+		k.SrcPort, k.DstPort = m.TCPSrc, m.TCPDst
+	case netaddr.ProtoUDP:
+		k.SrcPort, k.DstPort = m.UDPSrc, m.UDPDst
+	}
+	return k, true
+}
+
+// indexInsert places an already-ordered rule into the exact index or the
+// wildcard slice.
+func (t *Table) indexInsert(r *Rule) {
+	if key, ok := exactKey(&r.Match); ok {
+		if t.exact == nil {
+			t.exact = make(map[netaddr.FlowKey]*Rule)
+		}
+		// Two exact rules may share a key at different priorities (equal
+		// priority would have replaced); the index holds the winner.
+		if cur := t.exact[key]; cur == nil || r.Priority > cur.Priority {
+			t.exact[key] = r
+		}
+		return
+	}
+	i := sort.Search(len(t.wild), func(i int) bool {
+		return t.wild[i].Priority < r.Priority ||
+			(t.wild[i].Priority == r.Priority && t.wild[i].seq > r.seq)
+	})
+	t.wild = append(t.wild, nil)
+	copy(t.wild[i+1:], t.wild[i:])
+	t.wild[i] = r
+}
+
+// reindex rebuilds the exact/wildcard indexes from the rules slice; called
+// after bulk removals, which are rare relative to lookups.
+func (t *Table) reindex() {
+	t.exact = nil
+	t.wild = t.wild[:0]
+	for _, r := range t.rules {
+		t.indexInsert(r)
+	}
+}
+
 // Insert adds a rule. A rule with an identical match and priority replaces
 // the existing entry (OpenFlow add semantics) without consuming extra
 // capacity. Returns ErrTableFull when at capacity.
@@ -164,13 +246,17 @@ func (t *Table) Insert(r *Rule) error {
 	r.TableID = t.ID
 	for i, old := range t.rules {
 		if old.Priority == r.Priority && old.Match.Equal(&r.Match) {
+			r.seq = old.seq
 			t.rules[i] = r
+			t.replaceIndexed(old, r)
 			return nil
 		}
 	}
 	if t.Capacity > 0 && len(t.rules) >= t.Capacity {
 		return ErrTableFull
 	}
+	t.seq++
+	r.seq = t.seq
 	// Insert after all rules with priority >= r.Priority to keep FIFO
 	// order within a priority level.
 	i := sort.Search(len(t.rules), func(i int) bool {
@@ -179,19 +265,70 @@ func (t *Table) Insert(r *Rule) error {
 	t.rules = append(t.rules, nil)
 	copy(t.rules[i+1:], t.rules[i:])
 	t.rules[i] = r
+	t.indexInsert(r)
 	return nil
+}
+
+// replaceIndexed swaps old for r (same match and priority) in whichever
+// index holds old.
+func (t *Table) replaceIndexed(old, r *Rule) {
+	if key, ok := exactKey(&r.Match); ok {
+		if t.exact[key] == old {
+			t.exact[key] = r
+		}
+		return
+	}
+	for i, w := range t.wild {
+		if w == old {
+			t.wild[i] = r
+			return
+		}
+	}
+}
+
+// exactEligible reports whether the packet can hit the exact index: a plain
+// (or GRE-decap-transparent) IPv4 packet whose transport header agrees with
+// its protocol. Anything else — MPLS-tagged frames, malformed transports —
+// falls back to the ordered scan of all rules.
+func exactEligible(p *packet.Packet) bool {
+	if p.Eth.EtherType != packet.EtherTypeIPv4 {
+		return false
+	}
+	switch p.IP.Protocol {
+	case netaddr.ProtoTCP:
+		return p.TCP != nil
+	case netaddr.ProtoUDP:
+		return p.UDP != nil
+	}
+	return true
 }
 
 // Lookup returns the highest-priority rule matching the packet, or nil on
 // table miss. Counters are not updated; the pipeline does that once per
 // processed packet.
 func (t *Table) Lookup(p *packet.Packet, inPort uint32) *Rule {
-	for _, r := range t.rules {
-		if Matches(&r.Match, p, inPort) {
-			return r
+	if len(t.exact) == 0 || !exactEligible(p) {
+		for _, r := range t.rules {
+			if Matches(&r.Match, p, inPort) {
+				return r
+			}
+		}
+		return nil
+	}
+	re := t.exact[p.FlowKey()]
+	// Scan wildcards in match order; stop once the exact hit outranks the
+	// remaining wildcards (higher priority, or FIFO-earlier at equal
+	// priority), exactly reproducing the full ordered scan's winner.
+	for _, w := range t.wild {
+		if re != nil && (w.Priority < re.Priority ||
+			(w.Priority == re.Priority && w.seq > re.seq)) {
+			return re
+		}
+		if Matches(&w.Match, p, inPort) {
+			return w
 		}
 	}
-	return nil
+	return re
 }
 
 // Delete removes rules. With strict set, only the rule with exactly the
@@ -210,6 +347,9 @@ func (t *Table) Delete(m *openflow.Match, priority uint16, strict bool) []*Rule 
 		}
 	}
 	t.rules = keep
+	if len(removed) > 0 {
+		t.reindex()
+	}
 	return removed
 }
 
@@ -225,6 +365,9 @@ func (t *Table) DeleteWhere(fn func(*Rule) bool) []*Rule {
 		}
 	}
 	t.rules = keep
+	if len(removed) > 0 {
+		t.reindex()
+	}
 	return removed
 }
 
@@ -243,6 +386,9 @@ func (t *Table) Expire(now sim.Time) ([]*Rule, []uint8) {
 		}
 	}
 	t.rules = keep
+	if len(rules) > 0 {
+		t.reindex()
+	}
 	return rules, reasons
 }
 
@@ -348,7 +494,10 @@ func (pl *Pipeline) Table(id uint8) *Table {
 // Result is the outcome of pipeline processing for one packet.
 type Result struct {
 	// Actions is the ordered list of apply-actions accumulated across the
-	// pipeline. Empty with Miss=false means "matched, drop".
+	// pipeline. Empty with Miss=false means "matched, drop". In the common
+	// single-apply-actions case the slice aliases the rule's instruction
+	// storage to avoid a per-packet allocation; callers must treat it as
+	// read-only.
 	Actions []openflow.Action
 	// Miss is true when some traversed table had no matching rule; the
 	// packet is subject to the switch's table-miss behaviour (Packet-In).
@@ -363,6 +512,7 @@ type Result struct {
 // updating rule counters.
 func (pl *Pipeline) Process(p *packet.Packet, inPort uint32, now sim.Time) Result {
 	var res Result
+	aliased := false
 	table := uint8(0)
 	for hop := 0; hop <= len(pl.Tables); hop++ {
 		t := pl.Table(table)
@@ -382,7 +532,20 @@ func (pl *Pipeline) Process(p *packet.Packet, inPort uint32, now sim.Time) Resul
 			in := &r.Instructions[i]
 			switch in.Type {
 			case openflow.InstrApplyActions:
-				res.Actions = append(res.Actions, in.Actions...)
+				switch {
+				case res.Actions == nil:
+					// Alias the rule's own action list; appending to it
+					// below always reallocates first (aliased == true).
+					res.Actions = in.Actions
+					aliased = true
+				case aliased:
+					merged := make([]openflow.Action, 0, len(res.Actions)+len(in.Actions))
+					merged = append(merged, res.Actions...)
+					res.Actions = append(merged, in.Actions...)
+					aliased = false
+				default:
+					res.Actions = append(res.Actions, in.Actions...)
+				}
 			case openflow.InstrGotoTable:
 				next = int(in.TableID)
 			}

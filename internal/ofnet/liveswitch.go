@@ -4,6 +4,7 @@ import (
 	"context"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scotch/internal/flowtable"
@@ -25,10 +26,12 @@ type LiveSwitch struct {
 	start    time.Time
 	conn     *Conn
 
-	// Stats
-	Forwarded uint64
-	Misses    uint64
-	Installed uint64
+	// Stats. Atomics, not mu-guarded fields: the data plane (Inject, any
+	// goroutine) and the control loop (DialAndServe's goroutine) both
+	// update them, and monitors read them without stalling either.
+	Forwarded atomic.Uint64
+	Misses    atomic.Uint64
+	Installed atomic.Uint64
 }
 
 // NewLiveSwitch creates a switch with the given number of flow tables.
@@ -57,10 +60,10 @@ func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 	res := ls.pipeline.Process(pkt, inPort, ls.now())
 	var conn *Conn
 	if res.Miss {
-		ls.Misses++
+		ls.Misses.Add(1)
 		conn = ls.conn
 	} else {
-		ls.Forwarded++
+		ls.Forwarded.Add(1)
 	}
 	actions := res.Actions
 	ls.mu.Unlock()
@@ -97,14 +100,21 @@ func (ls *LiveSwitch) executeActions(pkt *packet.Packet, inPort uint32, actions 
 				return
 			}
 		case openflow.ActionTypeGroup:
+			// Select the bucket under the lock: GroupModify mutates the
+			// Group's Type/Buckets in place from the control goroutine.
+			// The bucket's Actions slice is immutable once installed
+			// (modify swaps whole bucket slices), so it is safe to keep
+			// after unlocking.
 			ls.mu.Lock()
-			g := ls.pipeline.Groups.Get(a.GroupID)
-			ls.mu.Unlock()
-			if g == nil {
-				continue
+			var bucketActions []openflow.Action
+			if g := ls.pipeline.Groups.Get(a.GroupID); g != nil {
+				if b := g.SelectBucket(pkt.FlowKey().Hash()); b != nil {
+					bucketActions = b.Actions
+				}
 			}
-			if b := g.SelectBucket(pkt.FlowKey().Hash()); b != nil {
-				ls.executeActions(pkt, inPort, b.Actions, depth+1)
+			ls.mu.Unlock()
+			if bucketActions != nil {
+				ls.executeActions(pkt, inPort, bucketActions, depth+1)
 			}
 		case openflow.ActionTypeOutput:
 			ls.mu.Lock()
@@ -212,7 +222,7 @@ func (ls *LiveSwitch) applyFlowMod(conn *Conn, m *openflow.FlowMod, xid uint32) 
 			if err := tbl.Insert(rule); err != nil {
 				tableFull = true
 			} else {
-				ls.Installed++
+				ls.Installed.Add(1)
 			}
 		case openflow.FlowDelete, openflow.FlowDeleteStrict:
 			tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)

@@ -323,6 +323,106 @@ func TestFlowStatsOverTCP(t *testing.T) {
 	}
 }
 
+// TestConcurrentDataPlaneAndGroupMods hammers the data plane from several
+// goroutines while the control plane rewrites the select group and installs
+// rules, with a monitor reading the stats counters throughout. Run under
+// -race this pins down the locking contract: group bucket selection happens
+// under the switch lock (GroupModify mutates the Group in place), bucket
+// action slices are immutable once installed, and the stats fields are
+// atomics.
+func TestConcurrentDataPlaneAndGroupMods(t *testing.T) {
+	ls := NewLiveSwitch(21, 1)
+	var total sync.WaitGroup
+	var hits [2]int64
+	var hitsMu sync.Mutex
+	ls.RegisterPort(11, func(*packet.Packet) { hitsMu.Lock(); hits[0]++; hitsMu.Unlock() })
+	ls.RegisterPort(12, func(*packet.Packet) { hitsMu.Lock(); hits[1]++; hitsMu.Unlock() })
+
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	go io.Copy(io.Discard, b)
+	conn := NewConn(a)
+	if err := ls.handle(conn, &openflow.GroupMod{
+		Command: openflow.GroupAdd, GroupType: openflow.GroupTypeSelect, GroupID: 1,
+		Buckets: []openflow.Bucket{
+			{Actions: []openflow.Action{openflow.OutputAction(11)}},
+			{Actions: []openflow.Action{openflow.OutputAction(12)}},
+		},
+	}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.handle(conn, &openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 1,
+		Instructions: []openflow.Instruction{openflow.ApplyActions(openflow.GroupAction(1))},
+	}, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	const injectors, perInjector = 4, 300
+	stop := make(chan struct{})
+
+	// Control plane: keep rewriting the group's buckets in place.
+	total.Add(1)
+	go func() {
+		defer total.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			w := uint16(1 + i%3)
+			ls.handle(conn, &openflow.GroupMod{
+				Command: openflow.GroupModify, GroupType: openflow.GroupTypeSelect, GroupID: 1,
+				Buckets: []openflow.Bucket{
+					{Weight: w, Actions: []openflow.Action{openflow.OutputAction(11)}},
+					{Weight: 1, Actions: []openflow.Action{openflow.OutputAction(12)}},
+				},
+			}, uint32(i))
+		}
+	}()
+	// Monitor: concurrent stats reads.
+	total.Add(1)
+	go func() {
+		defer total.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = ls.Forwarded.Load() + ls.Misses.Load() + ls.Installed.Load()
+				_ = ls.RuleCount()
+			}
+		}
+	}()
+
+	var inj sync.WaitGroup
+	for g := 0; g < injectors; g++ {
+		inj.Add(1)
+		go func(g int) {
+			defer inj.Done()
+			for i := 0; i < perInjector; i++ {
+				p := packet.NewTCP(netaddr.IPv4(g*perInjector+i), netaddr.MakeIPv4(10, 0, 1, 1), uint16(i), 80, 0)
+				ls.Inject(p, 1)
+			}
+		}(g)
+	}
+	inj.Wait()
+	close(stop)
+	total.Wait()
+
+	hitsMu.Lock()
+	sum := hits[0] + hits[1]
+	hitsMu.Unlock()
+	if sum != injectors*perInjector {
+		t.Fatalf("delivered %d packets, want %d", sum, injectors*perInjector)
+	}
+	if got := ls.Forwarded.Load(); got != injectors*perInjector {
+		t.Fatalf("Forwarded = %d, want %d", got, injectors*perInjector)
+	}
+}
+
 func TestLiveSwitchMPLSActions(t *testing.T) {
 	ls := NewLiveSwitch(3, 1)
 	var got []*packet.Packet

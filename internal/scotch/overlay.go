@@ -146,7 +146,14 @@ func (o *Overlay) build() error {
 	// Fan-out tunnels from each protected switch to its nearest vSwitches;
 	// the receiving side strips the inner (ingress-port) label into packet
 	// metadata.
+	// Sorted: tunnel port/id allocation below must not depend on map
+	// iteration order, or reruns of the same seed diverge.
+	protDPIDs := make([]uint64, 0, len(a.protected))
 	for dpid := range a.protected {
+		protDPIDs = append(protDPIDs, dpid)
+	}
+	sort.Slice(protDPIDs, func(i, j int) bool { return protDPIDs[i] < protDPIDs[j] })
+	for _, dpid := range protDPIDs {
 		sw := net.Switch(dpid)
 		if sw == nil {
 			return fmt.Errorf("scotch: unknown protected switch %d", dpid)
@@ -182,8 +189,15 @@ func (o *Overlay) build() error {
 		o.installGroup(dpid)
 	}
 
-	// Delivery tunnels from each host's local (and backup) vSwitch.
-	for ip, d := range o.deliveries {
+	// Delivery tunnels from each host's local (and backup) vSwitch, in IP
+	// order for the same reason: buildDelivery allocates ports/tunnel ids.
+	ips := make([]netaddr.IPv4, 0, len(o.deliveries))
+	for ip := range o.deliveries {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	for _, ip := range ips {
+		d := o.deliveries[ip]
 		if err := o.buildDelivery(ip, d.vs); err != nil {
 			return err
 		}
@@ -459,9 +473,15 @@ func (o *Overlay) failover(dead uint64) {
 	o.alive[dead] = false
 	o.app.Stats.FailoverSwaps++
 	// Re-derive every affected switch's buckets; liveFanout promotes a
-	// backup in place of the dead primary.
-	for dpid, tunnels := range o.phys {
-		for _, pt := range tunnels {
+	// backup in place of the dead primary. Sorted so the resulting
+	// GroupMod sequence is reproducible.
+	physDPIDs := make([]uint64, 0, len(o.phys))
+	for dpid := range o.phys {
+		physDPIDs = append(physDPIDs, dpid)
+	}
+	sort.Slice(physDPIDs, func(i, j int) bool { return physDPIDs[i] < physDPIDs[j] })
+	for _, dpid := range physDPIDs {
+		for _, pt := range o.phys[dpid] {
 			if pt.vs == dead {
 				o.installGroup(dpid)
 				break

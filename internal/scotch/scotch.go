@@ -17,6 +17,7 @@
 package scotch
 
 import (
+	"sort"
 	"time"
 
 	"scotch/internal/controller"
@@ -266,7 +267,15 @@ func (a *App) ovlSchedFor(dpid uint64) *installScheduler {
 // withdrawal.
 func (a *App) monitor() {
 	now := a.C.Eng.Now()
-	for dpid, st := range a.protected {
+	// Sorted: activations/withdrawals install rules through the shared
+	// scheduler, so the visit order must be reproducible.
+	dpids := make([]uint64, 0, len(a.protected))
+	for dpid := range a.protected {
+		dpids = append(dpids, dpid)
+	}
+	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
+	for _, dpid := range dpids {
+		st := a.protected[dpid]
 		h := a.C.Switch(dpid)
 		if h == nil {
 			continue

@@ -1,0 +1,133 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures the steady-state cost of one
+// schedule-and-fire cycle. With the event free list, the engine reuses the
+// same node every iteration, so this runs at 0 allocs/op.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(time.Microsecond, fn)
+		e.Run()
+	}
+}
+
+// BenchmarkScheduleFireDepth8 keeps eight events in flight, exercising heap
+// sift operations alongside the free list.
+func BenchmarkScheduleFireDepth8(b *testing.B) {
+	e := New(1)
+	fn := func() {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for d := 1; d <= 8; d++ {
+			e.Schedule(time.Duration(d)*time.Microsecond, fn)
+		}
+		e.Run()
+	}
+}
+
+// TestScheduleFireAllocFree pins the pooling win down as a regression test:
+// after warm-up, a schedule-and-fire cycle must not allocate.
+func TestScheduleFireAllocFree(t *testing.T) {
+	e := New(1)
+	fn := func() {}
+	// Warm up: grow the free list and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		e.Schedule(time.Microsecond, fn)
+	}
+	e.Run()
+	avg := testing.AllocsPerRun(1000, func() {
+		e.Schedule(time.Microsecond, fn)
+		e.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule+fire allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestCanceledEventNeverResurrected is the pooling safety regression test:
+// a canceled event's node must never re-enter the free list, so no amount
+// of later scheduling can hand a new event a node whose old handle still
+// believes it owns it.
+func TestCanceledEventNeverResurrected(t *testing.T) {
+	e := New(1)
+	canceledFired := false
+	ev := e.Schedule(time.Millisecond, func() { canceledFired = true })
+	ev.Cancel()
+	e.Run()
+	if canceledFired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("handle lost its Canceled status after the engine drained")
+	}
+
+	// Churn through many schedule/fire cycles. None of these events may
+	// land on the canceled node, so the stale handle must stay inert.
+	fired := 0
+	for i := 0; i < 100; i++ {
+		ev2 := e.Schedule(time.Microsecond, func() { fired++ })
+		if ev2.n == ev.n {
+			t.Fatal("canceled node was recycled onto a new event")
+		}
+		ev.Cancel() // stale: must not touch ev2
+		e.Run()
+	}
+	if fired != 100 {
+		t.Fatalf("stale Cancel suppressed live events: %d of 100 fired", fired)
+	}
+	if !ev.Canceled() {
+		t.Fatal("original handle stopped reporting Canceled()")
+	}
+}
+
+// TestStaleHandleAfterRecycle covers the other half of the generation
+// check: a node recycled after a normal fire is reused by a later event,
+// and the fired event's old handle must neither cancel nor observe it.
+func TestStaleHandleAfterRecycle(t *testing.T) {
+	e := New(1)
+	ev1 := e.Schedule(time.Microsecond, func() {})
+	e.Run()
+
+	fired := false
+	ev2 := e.Schedule(time.Microsecond, func() { fired = true })
+	if ev2.n != ev1.n {
+		t.Fatal("free list did not recycle the fired node (pooling broken)")
+	}
+	ev1.Cancel() // stale handle, generation mismatch: must be a no-op
+	if ev1.Canceled() {
+		t.Fatal("stale handle claims Canceled after its node was recycled")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel leaked through to the recycled node's new event")
+	}
+	if ev2.Canceled() {
+		t.Fatal("live event reports Canceled")
+	}
+}
+
+// TestTickerSteadyStateAllocFree verifies the ticker's rearm closure is
+// allocated once, not per tick.
+func TestTickerSteadyStateAllocFree(t *testing.T) {
+	e := New(1)
+	ticks := 0
+	tk := e.Every(time.Millisecond, func() { ticks++ })
+	e.RunUntil(10 * time.Millisecond) // warm-up
+	avg := testing.AllocsPerRun(100, func() {
+		e.RunUntil(e.Now() + time.Millisecond)
+	})
+	tk.Stop()
+	if ticks == 0 {
+		t.Fatal("ticker never fired")
+	}
+	if avg != 0 {
+		t.Fatalf("ticker allocates %.1f objects/tick in steady state, want 0", avg)
+	}
+}

@@ -18,10 +18,13 @@ import (
 // the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback. Events are ordered by time, then by
-// scheduling sequence number so that events scheduled earlier for the same
-// instant run first.
-type Event struct {
+// eventNode is the heap-resident record for a scheduled callback. Nodes are
+// recycled through the engine's free list once they fire, so macro
+// workloads (millions of Schedule calls) run allocation-free in steady
+// state. The seq field doubles as a generation counter: it changes every
+// time the node is reused, which lets stale Event handles detect that
+// "their" event is gone.
+type eventNode struct {
 	at       Time
 	seq      uint64
 	fn       func()
@@ -29,21 +32,39 @@ type Event struct {
 	canceled bool
 }
 
+// Event is a handle on a scheduled callback, returned by Schedule/At/Every.
+// It is a small value (copy freely). Events are ordered by time, then by
+// scheduling sequence number so that events scheduled earlier for the same
+// instant run first.
+//
+// Handles stay safe after the event fires: the underlying node may be
+// recycled for a later event, and a stale Cancel or Canceled call on the
+// old handle is a no-op (the generation check prevents it from touching
+// the node's new occupant).
+type Event struct {
+	n   *eventNode
+	seq uint64
+	at  Time
+}
+
 // Cancel prevents the event's callback from running. Canceling an event
 // that already fired (or was already canceled) is a no-op.
-func (ev *Event) Cancel() {
-	if ev != nil {
-		ev.canceled = true
+func (ev Event) Cancel() {
+	if ev.n != nil && ev.n.seq == ev.seq {
+		ev.n.canceled = true
 	}
 }
 
-// Canceled reports whether Cancel has been called on the event.
-func (ev *Event) Canceled() bool { return ev != nil && ev.canceled }
+// Canceled reports whether Cancel was called on the event before its node
+// was recycled. A handle whose event fired normally reports false.
+func (ev Event) Canceled() bool {
+	return ev.n != nil && ev.n.seq == ev.seq && ev.n.canceled
+}
 
-// At returns the virtual time the event is scheduled for.
-func (ev *Event) At() Time { return ev.at }
+// At returns the virtual time the event was scheduled for.
+func (ev Event) At() Time { return ev.at }
 
-type eventHeap []*Event
+type eventHeap []*eventNode
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -58,7 +79,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*eventNode)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }
@@ -78,6 +99,7 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*eventNode // recycled nodes (never holds canceled nodes)
 	rng     *rand.Rand
 	stopped bool
 	fired   uint64
@@ -104,7 +126,7 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Schedule runs fn after delay d of virtual time. A negative delay is
 // treated as zero. It returns the Event so the caller may cancel it.
-func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+func (e *Engine) Schedule(d time.Duration, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
@@ -113,7 +135,7 @@ func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
 
 // At runs fn at absolute virtual time t. Scheduling in the past panics:
 // it is always a model bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
 	}
@@ -121,9 +143,32 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic("sim: nil event callback")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	var ev *eventNode
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &eventNode{}
+	}
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.index = -1
+	ev.canceled = false
 	heap.Push(&e.events, ev)
-	return ev
+	return Event{n: ev, seq: e.seq, at: t}
+}
+
+// release returns a fired node to the free list. Canceled nodes are NOT
+// recycled: their handles must keep reporting Canceled()==true, and a
+// recycled node would let a stale Cancel resurrect onto a new event.
+func (e *Engine) release(ev *eventNode) {
+	if ev.canceled {
+		return
+	}
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Stop makes Run and RunUntil return after the currently executing event.
@@ -150,8 +195,10 @@ func (e *Engine) RunUntil(end Time) uint64 {
 		if next.canceled {
 			continue
 		}
+		fn := next.fn
 		e.fired++
-		next.fn()
+		e.release(next)
+		fn()
 	}
 	if !e.stopped && e.now < end && end < 1<<62-1 {
 		e.now = end
@@ -164,7 +211,8 @@ type Ticker struct {
 	eng      *Engine
 	interval time.Duration
 	fn       func()
-	ev       *Event
+	ev       Event
+	rearm    func() // allocated once; reused for every tick
 	stopped  bool
 }
 
@@ -175,12 +223,7 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
 		panic("sim: non-positive ticker interval")
 	}
 	t := &Ticker{eng: e, interval: interval, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.eng.Schedule(t.interval, func() {
+	t.rearm = func() {
 		if t.stopped {
 			return
 		}
@@ -188,7 +231,13 @@ func (t *Ticker) arm() {
 		if !t.stopped {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.Schedule(t.interval, t.rearm)
 }
 
 // Stop cancels future ticks. It is safe to call multiple times and from

@@ -58,36 +58,44 @@ type ServerStats struct {
 // queue and a fixed service rate (items per second): the standard model for
 // a CPU-limited agent such as a switch's OpenFlow Agent. Items that arrive
 // when the queue is full are dropped.
-type Server struct {
+//
+// Server is generic over its item type so hot paths (one Submit per
+// simulated packet) avoid boxing every item into an interface; the fire
+// callback is allocated once at construction rather than once per item.
+type Server[T any] struct {
 	eng     *Engine
 	rate    float64
 	cap     int
-	queue   []any
+	queue   []T
 	busy    bool
-	process func(v any)
-	onDrop  func(v any)
+	current T // item in service, valid while busy
+	fire    func()
+	process func(v T)
+	onDrop  func(v T)
 	stats   ServerStats
 }
 
 // NewServer returns a server processing items at rate items/second with a
 // queue holding up to queueCap items (excluding the one in service).
 // process is invoked when an item finishes service. rate must be positive.
-func NewServer(eng *Engine, rate float64, queueCap int, process func(v any)) *Server {
+func NewServer[T any](eng *Engine, rate float64, queueCap int, process func(v T)) *Server[T] {
 	if rate <= 0 {
 		panic("sim: non-positive server rate")
 	}
 	if queueCap < 0 {
 		queueCap = 0
 	}
-	return &Server{eng: eng, rate: rate, cap: queueCap, process: process}
+	s := &Server[T]{eng: eng, rate: rate, cap: queueCap, process: process}
+	s.fire = s.completeService
+	return s
 }
 
 // OnDrop registers a callback invoked with each item dropped due to queue
 // overflow.
-func (s *Server) OnDrop(fn func(v any)) { s.onDrop = fn }
+func (s *Server[T]) OnDrop(fn func(v T)) { s.onDrop = fn }
 
 // SetRate changes the service rate for items entering service from now on.
-func (s *Server) SetRate(rate float64) {
+func (s *Server[T]) SetRate(rate float64) {
 	if rate <= 0 {
 		panic("sim: non-positive server rate")
 	}
@@ -95,20 +103,20 @@ func (s *Server) SetRate(rate float64) {
 }
 
 // Rate returns the current service rate in items per second.
-func (s *Server) Rate() float64 { return s.rate }
+func (s *Server[T]) Rate() float64 { return s.rate }
 
 // QueueLen returns the number of queued items (excluding any in service).
-func (s *Server) QueueLen() int { return len(s.queue) }
+func (s *Server[T]) QueueLen() int { return len(s.queue) }
 
 // Busy reports whether an item is currently in service.
-func (s *Server) Busy() bool { return s.busy }
+func (s *Server[T]) Busy() bool { return s.busy }
 
 // Stats returns a snapshot of the server's counters.
-func (s *Server) Stats() ServerStats { return s.stats }
+func (s *Server[T]) Stats() ServerStats { return s.stats }
 
 // Submit offers an item to the server. It returns false (and counts a drop)
 // if the queue is full.
-func (s *Server) Submit(v any) bool {
+func (s *Server[T]) Submit(v T) bool {
 	s.stats.Submitted++
 	if !s.busy {
 		s.serve(v)
@@ -125,19 +133,27 @@ func (s *Server) Submit(v any) bool {
 	return true
 }
 
-func (s *Server) serve(v any) {
+func (s *Server[T]) serve(v T) {
 	s.busy = true
+	s.current = v
 	d := time.Duration(float64(time.Second) / s.rate)
-	s.eng.Schedule(d, func() {
-		s.stats.Served++
-		s.process(v)
-		if len(s.queue) > 0 {
-			next := s.queue[0]
-			copy(s.queue, s.queue[1:])
-			s.queue = s.queue[:len(s.queue)-1]
-			s.serve(next)
-		} else {
-			s.busy = false
-		}
-	})
+	s.eng.Schedule(d, s.fire)
+}
+
+func (s *Server[T]) completeService() {
+	v := s.current
+	var zero T
+	s.current = zero // don't retain served items
+	s.stats.Served++
+	s.process(v)
+	if len(s.queue) > 0 {
+		next := s.queue[0]
+		copy(s.queue, s.queue[1:])
+		var z T
+		s.queue[len(s.queue)-1] = z
+		s.queue = s.queue[:len(s.queue)-1]
+		s.serve(next)
+	} else {
+		s.busy = false
+	}
 }

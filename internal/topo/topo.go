@@ -223,7 +223,13 @@ func (n *Network) switchPath(a, b uint64) ([]Hop, bool) {
 		bestD := math.Inf(1)
 		found := false
 		for node, d := range dist {
-			if !visited[node] && d < bestD {
+			if visited[node] {
+				continue
+			}
+			// Tie-break equal distances on the node id: leaf-spine
+			// fabrics are full of equal-cost paths, and map iteration
+			// order must not pick the winner (reruns would diverge).
+			if d < bestD || (d == bestD && (!found || node < best)) {
 				best, bestD, found = node, d, true
 			}
 		}
