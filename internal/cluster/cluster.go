@@ -1,0 +1,405 @@
+// Package cluster shards the SDN control plane across multiple controller
+// replicas, going beyond the paper's single-controller evaluation: §7
+// observes that Scotch "can be easily extended to support multiple
+// controllers" by partitioning switches among them. Each replica is a full
+// controller.Controller running the Scotch application over its shard; a
+// coordinator watches per-replica load (Packet-In rate plus queue depth)
+// and rebalances by migrating pods — OpenFlow 1.3 master/slave role
+// handoff with generation fencing, flow-state transfer, and in-flight
+// work draining through the new master — and recovers from replica death
+// via heartbeat-based failure detection.
+package cluster
+
+import (
+	"sort"
+	"time"
+
+	"scotch/internal/controller"
+	"scotch/internal/openflow"
+	"scotch/internal/sim"
+)
+
+// PodApp is a controller application a pod carries between replicas. The
+// Scotch app satisfies it: Rebind moves all handle resolution onto the new
+// replica's controller, SetOwner restricts which punting switches the app
+// claims.
+type PodApp interface {
+	controller.App
+	Rebind(*controller.Controller)
+	SetOwner(func(dpid uint64) bool)
+}
+
+// Config tunes the coordinator.
+type Config struct {
+	// HeartbeatInterval and HeartbeatMisses govern replica failure
+	// detection: a replica silent for Misses consecutive beats is declared
+	// dead. The defaults (100ms x 3) detect a controller crash well inside
+	// the Scotch app's own vSwitch-death window (500ms x 3), so switch
+	// liveness state is not poisoned while mastership is in limbo.
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+
+	// BalanceInterval is how often load is compared across replicas.
+	BalanceInterval time.Duration
+	// ImbalanceFactor triggers migration when the most loaded replica
+	// exceeds this multiple of the least loaded one.
+	ImbalanceFactor float64
+	// MinLoad suppresses rebalancing while the hottest replica is below
+	// this load (Packet-Ins/s + queued punts): idle clusters don't churn.
+	MinLoad float64
+	// MigrationCooldown is the minimum spacing between load-triggered
+	// migrations, damping oscillation.
+	MigrationCooldown time.Duration
+}
+
+// DefaultConfig returns the calibrated defaults.
+func DefaultConfig() Config {
+	return Config{
+		HeartbeatInterval: 100 * time.Millisecond,
+		HeartbeatMisses:   3,
+		BalanceInterval:   500 * time.Millisecond,
+		ImbalanceFactor:   2,
+		MinLoad:           50,
+		MigrationCooldown: time.Second,
+	}
+}
+
+// Stats counts coordinator activity.
+type Stats struct {
+	Migrations   uint64 // cooperative handoffs (load-triggered or explicit)
+	Failovers    uint64 // pods reassigned after a replica death
+	ReplicasLost uint64
+
+	// DetectedAt is when the most recent replica death was declared;
+	// HandoffDoneAt is when the most recent handoff's barriers all drained
+	// (every pod switch confirmed processing the new master's role claim).
+	DetectedAt    sim.Time
+	HandoffDoneAt sim.Time
+}
+
+// Replica is one controller process in the cluster.
+type Replica struct {
+	ID int
+	C  *controller.Controller
+
+	killed bool
+	dead   bool
+	missed int
+}
+
+// Kill simulates the replica process dying: its switch connections drop
+// and its heartbeats stop. The coordinator notices after the detection
+// window and reassigns its pods — without flow-state transfer, since the
+// state died with the process.
+func (r *Replica) Kill() {
+	r.killed = true
+	r.C.Disconnect()
+}
+
+// Alive reports whether the coordinator still considers the replica up.
+func (r *Replica) Alive() bool { return !r.dead }
+
+// Pod is the unit of migration: a set of switches (protected edges plus
+// their mesh vSwitches) and the application instance managing them.
+type Pod struct {
+	Name  string
+	App   PodApp
+	DPIDs []uint64
+
+	set map[uint64]bool
+}
+
+// Owns reports whether the pod contains the switch.
+func (p *Pod) Owns(dpid uint64) bool { return p.set[dpid] }
+
+// Coordinator owns the switch-to-replica assignment map and performs
+// migrations and failovers. All methods run inside the simulation's
+// single-threaded event loop.
+type Coordinator struct {
+	Eng *sim.Engine
+	Cfg Config
+
+	Replicas []*Replica
+	Stats    Stats
+
+	// OnMigrate, when set, fires as each pod handoff is initiated.
+	OnMigrate func(pod string, from, to int, failover bool)
+
+	pods     []*Pod
+	byName   map[string]*Pod
+	assign   map[string]int
+	gen      uint64
+	lastMove sim.Time
+}
+
+// New creates a coordinator on the simulation engine.
+func New(eng *sim.Engine, cfg Config) *Coordinator {
+	return &Coordinator{
+		Eng:    eng,
+		Cfg:    cfg,
+		byName: make(map[string]*Pod),
+		assign: make(map[string]int),
+	}
+}
+
+// AddReplica enrolls a controller as a cluster replica.
+func (co *Coordinator) AddReplica(c *controller.Controller) *Replica {
+	r := &Replica{ID: len(co.Replicas), C: c}
+	co.Replicas = append(co.Replicas, r)
+	return r
+}
+
+// AddPod enrolls a pod initially assigned to home, whose controller the
+// app must already be built on and registered with. The app is restricted
+// to punts from the pod's switches, so several pods can share a replica.
+func (co *Coordinator) AddPod(name string, app PodApp, home *Replica, dpids ...uint64) *Pod {
+	p := &Pod{Name: name, App: app, DPIDs: append([]uint64(nil), dpids...), set: make(map[uint64]bool)}
+	sort.Slice(p.DPIDs, func(i, j int) bool { return p.DPIDs[i] < p.DPIDs[j] })
+	for _, d := range p.DPIDs {
+		p.set[d] = true
+	}
+	app.SetOwner(p.Owns)
+	co.pods = append(co.pods, p)
+	co.byName[name] = p
+	co.assign[name] = home.ID
+	return p
+}
+
+// Owner returns the id of the replica currently assigned a pod (-1 if the
+// pod is unknown).
+func (co *Coordinator) Owner(name string) int {
+	if _, ok := co.byName[name]; !ok {
+		return -1
+	}
+	return co.assign[name]
+}
+
+// Pod returns a pod by name, or nil.
+func (co *Coordinator) Pod(name string) *Pod { return co.byName[name] }
+
+// Load is a replica's scalar load signal: aggregate Packet-In arrival
+// rate plus punts queued behind its processing capacity.
+func (co *Coordinator) Load(r *Replica) float64 {
+	return r.C.InRate.Rate(co.Eng.Now()) + float64(r.C.QueueDepth())
+}
+
+// Start claims the initial roles — each pod's home replica becomes master
+// on the pod's switches, every other replica slave — and begins the
+// heartbeat and load-balance tickers.
+func (co *Coordinator) Start() {
+	for _, p := range co.pods {
+		owner := co.assign[p.Name]
+		gen := co.nextGen()
+		for _, dpid := range p.DPIDs {
+			for _, r := range co.Replicas {
+				h := r.C.Switch(dpid)
+				if h == nil {
+					continue
+				}
+				if r.ID == owner {
+					h.RequestRole(openflow.RoleMaster, gen, nil)
+				} else {
+					h.RequestRole(openflow.RoleSlave, gen, nil)
+				}
+			}
+		}
+	}
+	co.Eng.Every(co.Cfg.HeartbeatInterval, co.heartbeat)
+	co.Eng.Every(co.Cfg.BalanceInterval, co.balance)
+}
+
+// Migrate performs an explicit cooperative migration of a pod.
+func (co *Coordinator) Migrate(name string, to *Replica) {
+	if p := co.byName[name]; p != nil {
+		co.migrate(p, to, false)
+	}
+}
+
+func (co *Coordinator) nextGen() uint64 {
+	co.gen++
+	return co.gen
+}
+
+// migrate hands a pod to another replica. Cooperative migrations move the
+// pod's flow-state subset first (EASM-style make-before-break); failovers
+// cannot — the dead replica's state is gone, and recovering flows re-punt
+// to the new master and are re-admitted from scratch. Work already queued
+// in the app's install schedulers re-resolves switch handles at service
+// time, so it drains through the new master's connections.
+func (co *Coordinator) migrate(p *Pod, to *Replica, failover bool) {
+	fromID := co.assign[p.Name]
+	if fromID == to.ID || to.dead {
+		return
+	}
+	from := co.Replicas[fromID]
+
+	if !failover {
+		for _, fi := range from.C.FlowDB.All() {
+			if p.set[fi.FirstHop] {
+				to.C.FlowDB.Put(fi)
+				from.C.FlowDB.Delete(fi.Key)
+			}
+		}
+	}
+	from.C.Unregister(p.App)
+	p.App.Rebind(to.C)
+	to.C.Register(p.App)
+	co.assign[p.Name] = to.ID
+	co.lastMove = co.Eng.Now()
+
+	// Role handoff, fenced by a fresh generation id so the old master —
+	// even if partitioned rather than dead — can never reclaim the shard
+	// with a stale generation. OpenFlow has no demotion notification, so
+	// cooperative migrations tell the old master out of band; the switch
+	// itself demotes that connection when the new master's claim lands.
+	gen := co.nextGen()
+	pending := 0
+	for _, dpid := range p.DPIDs {
+		if !failover && !from.killed {
+			if h := from.C.Switch(dpid); h != nil {
+				h.NoteRole(openflow.RoleSlave)
+			}
+		}
+		h := to.C.Switch(dpid)
+		if h == nil {
+			continue
+		}
+		pending++
+		h.RequestRole(openflow.RoleMaster, gen, nil)
+		// The barrier confirms the switch processed the role claim (and
+		// everything queued before it); when the last one drains, the
+		// handoff is complete.
+		h.Barrier(func() {
+			pending--
+			if pending == 0 {
+				co.Stats.HandoffDoneAt = co.Eng.Now()
+			}
+		})
+	}
+	if failover {
+		co.Stats.Failovers++
+	} else {
+		co.Stats.Migrations++
+	}
+	if co.OnMigrate != nil {
+		co.OnMigrate(p.Name, fromID, to.ID, failover)
+	}
+}
+
+// heartbeat is the replica failure detector: killed replicas stop
+// beating, and after HeartbeatMisses silent intervals their pods are
+// reassigned to the least-loaded survivors.
+func (co *Coordinator) heartbeat() {
+	for _, r := range co.Replicas {
+		if r.dead {
+			continue
+		}
+		if !r.killed {
+			r.missed = 0
+			continue
+		}
+		r.missed++
+		if r.missed >= co.Cfg.HeartbeatMisses {
+			r.dead = true
+			co.Stats.ReplicasLost++
+			co.Stats.DetectedAt = co.Eng.Now()
+			co.failover(r)
+		}
+	}
+}
+
+func (co *Coordinator) failover(dead *Replica) {
+	for _, p := range co.pods { // AddPod order: deterministic
+		if co.assign[p.Name] != dead.ID {
+			continue
+		}
+		if to := co.leastLoaded(dead); to != nil {
+			co.migrate(p, to, true)
+		}
+	}
+}
+
+func (co *Coordinator) leastLoaded(exclude *Replica) *Replica {
+	var best *Replica
+	var bestLoad float64
+	for _, r := range co.Replicas {
+		if r.dead || r == exclude {
+			continue
+		}
+		if l := co.Load(r); best == nil || l < bestLoad {
+			best, bestLoad = r, l
+		}
+	}
+	return best
+}
+
+// balance compares replica loads and migrates the pod whose move best
+// narrows the spread, when the hottest replica is both busy in absolute
+// terms and ImbalanceFactor times busier than the coolest.
+func (co *Coordinator) balance() {
+	now := co.Eng.Now()
+	if co.lastMove > 0 && now-co.lastMove < co.Cfg.MigrationCooldown {
+		return
+	}
+	var alive []*Replica
+	for _, r := range co.Replicas {
+		if !r.dead {
+			alive = append(alive, r)
+		}
+	}
+	if len(alive) < 2 {
+		return
+	}
+	maxR, minR := alive[0], alive[0]
+	maxL, minL := co.Load(alive[0]), co.Load(alive[0])
+	for _, r := range alive[1:] {
+		l := co.Load(r)
+		if l > maxL {
+			maxR, maxL = r, l
+		}
+		if l < minL {
+			minR, minL = r, l
+		}
+	}
+	if maxR == minR || maxL < co.Cfg.MinLoad || maxL <= co.Cfg.ImbalanceFactor*minL {
+		return
+	}
+	// Pick the pod minimizing the post-move spread |gap - 2*rate|; a move
+	// that would merely relocate the hotspot (no strict improvement) is
+	// skipped.
+	gap := maxL - minL
+	var best *Pod
+	var bestGap float64
+	for _, p := range co.pods {
+		if co.assign[p.Name] != maxR.ID {
+			continue
+		}
+		rate := co.podRate(p, maxR)
+		ng := gap - 2*rate
+		if ng < 0 {
+			ng = -ng
+		}
+		if ng >= gap {
+			continue
+		}
+		if best == nil || ng < bestGap {
+			best, bestGap = p, ng
+		}
+	}
+	if best != nil {
+		co.migrate(best, minR, false)
+	}
+}
+
+// podRate is the pod's contribution to a replica's load: the summed
+// Packet-In rates of its switches on that replica's connections.
+func (co *Coordinator) podRate(p *Pod, r *Replica) float64 {
+	now := co.Eng.Now()
+	var sum float64
+	for _, dpid := range p.DPIDs {
+		if h := r.C.Switch(dpid); h != nil {
+			sum += h.PacketInRate.Rate(now)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,297 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"scotch/internal/capture"
+	"scotch/internal/controller"
+	"scotch/internal/device"
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+	"scotch/internal/topo"
+	"scotch/internal/workload"
+)
+
+// reactiveApp is a minimal PodApp: a reactive router that installs an
+// exact-match rule plus a Packet-Out for each punt on switches it owns.
+type reactiveApp struct {
+	name    string
+	c       *controller.Controller
+	owns    func(uint64) bool
+	outPort map[netaddr.IPv4]uint32
+	handled int
+}
+
+func (t *reactiveApp) Name() string                       { return t.name }
+func (t *reactiveApp) Rebind(c *controller.Controller)    { t.c = c }
+func (t *reactiveApp) SetOwner(fn func(dpid uint64) bool) { t.owns = fn }
+
+func (t *reactiveApp) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn, pkt *packet.Packet) bool {
+	if t.owns != nil && !t.owns(sw.DPID) {
+		return false
+	}
+	if pkt == nil {
+		return false
+	}
+	key := pkt.FlowKey()
+	out, ok := t.outPort[key.Dst]
+	if !ok {
+		return false
+	}
+	if t.c.FlowDB.Lookup(key) != nil {
+		// Duplicate punt (a later packet raced the rule install):
+		// re-forward without new state, as the real apps do.
+		sw.SendPacketOut(&openflow.PacketOut{
+			BufferID: 0xffffffff, InPort: openflow.PortController,
+			Actions: []openflow.Action{openflow.OutputAction(out)},
+			Data:    pin.Data,
+		})
+		return true
+	}
+	t.handled++
+	sw.InstallFlow(&openflow.FlowMod{
+		Command: openflow.FlowAdd, Priority: 10, IdleTimeout: 60,
+		Match: openflow.Match{
+			Fields:  openflow.FieldEthType | openflow.FieldIPProto | openflow.FieldIPv4Src | openflow.FieldIPv4Dst | openflow.FieldTCPSrc | openflow.FieldTCPDst,
+			EthType: packet.EtherTypeIPv4, IPProto: key.Proto,
+			IPv4Src: key.Src, IPv4Dst: key.Dst, TCPSrc: key.SrcPort, TCPDst: key.DstPort,
+		},
+		Instructions: []openflow.Instruction{openflow.ApplyActions(openflow.OutputAction(out))},
+	})
+	sw.SendPacketOut(&openflow.PacketOut{
+		BufferID: 0xffffffff, InPort: openflow.PortController,
+		Actions: []openflow.Action{openflow.OutputAction(out)},
+		Data:    pin.Data,
+	})
+	t.c.FlowDB.Put(&controller.FlowInfo{Key: key, FirstHop: sw.DPID, Created: t.c.Eng.Now()})
+	return true
+}
+
+// twoShardRig is two independent edge switches, each its own pod with a
+// client and a server, shared by two controller replicas.
+type twoShardRig struct {
+	eng     *sim.Engine
+	net     *topo.Network
+	sw      [2]*device.Switch
+	clients [2]*device.Host
+	servers [2]*device.Host
+	cap     *capture.Capture
+	co      *Coordinator
+	r       [2]*Replica
+	apps    [2]*reactiveApp
+}
+
+func newTwoShardRig(t *testing.T, cfg Config) *twoShardRig {
+	t.Helper()
+	rg := &twoShardRig{eng: sim.New(1)}
+	rg.net = topo.New(rg.eng)
+	link := device.LinkConfig{Delay: 50 * time.Microsecond, RateBps: 1e9}
+	rg.cap = capture.New(rg.eng)
+	outPorts := [2]map[netaddr.IPv4]uint32{}
+	for i := 0; i < 2; i++ {
+		rg.sw[i] = rg.net.AddSwitch([]string{"e0", "e1"}[i], device.Pica8Profile())
+		rg.clients[i] = rg.net.AddHost([]string{"c0", "c1"}[i], netaddr.MakeIPv4(10, byte(i), 0, 10))
+		rg.net.AttachHost(rg.clients[i], rg.sw[i], link)
+		rg.servers[i] = rg.net.AddHost([]string{"s0", "s1"}[i], netaddr.MakeIPv4(10, byte(i), 1, 10))
+		srvPort := rg.net.AttachHost(rg.servers[i], rg.sw[i], link)
+		rg.cap.Attach(rg.servers[i])
+		outPorts[i] = map[netaddr.IPv4]uint32{rg.servers[i].IP: srvPort}
+	}
+
+	rg.co = New(rg.eng, cfg)
+	for i := 0; i < 2; i++ {
+		c := controller.New(rg.eng, rg.net)
+		c.ConnectAll()
+		rg.r[i] = rg.co.AddReplica(c)
+	}
+	for i := 0; i < 2; i++ {
+		app := &reactiveApp{name: []string{"pod-a", "pod-b"}[i], c: rg.r[i].C, outPort: outPorts[i]}
+		rg.r[i].C.Register(app)
+		rg.apps[i] = app
+		rg.co.AddPod(app.name, app, rg.r[i], rg.sw[i].DPID)
+	}
+	rg.co.Start()
+	rg.eng.RunUntil(50 * time.Millisecond) // let the role claims settle
+	return rg
+}
+
+// sendFlow emits one 3-packet client flow toward the shard's server.
+func (rg *twoShardRig) sendFlow(shard int, srcPort uint16) {
+	em := workload.NewEmitter(rg.eng, rg.clients[shard], rg.cap)
+	em.Start(workload.Flow{
+		Key: netaddr.FlowKey{Src: rg.clients[shard].IP, Dst: rg.servers[shard].IP,
+			Proto: netaddr.ProtoTCP, SrcPort: srcPort, DstPort: 80},
+		Packets: 3, Interval: 5 * time.Millisecond, Size: 64, Class: "client",
+	})
+}
+
+func TestShardedPuntRouting(t *testing.T) {
+	rg := newTwoShardRig(t, DefaultConfig())
+	if got := rg.r[0].C.Switch(rg.sw[0].DPID).Role(); got != openflow.RoleMaster {
+		t.Fatalf("replica 0 role on own shard = %s", openflow.RoleName(got))
+	}
+	if got := rg.r[0].C.Switch(rg.sw[1].DPID).Role(); got != openflow.RoleSlave {
+		t.Fatalf("replica 0 role on other shard = %s", openflow.RoleName(got))
+	}
+
+	rg.sendFlow(0, 2000)
+	rg.sendFlow(1, 2001)
+	rg.eng.RunUntil(200 * time.Millisecond)
+
+	if rg.apps[0].handled != 1 || rg.apps[1].handled != 1 {
+		t.Fatalf("handled = %d/%d, want 1/1", rg.apps[0].handled, rg.apps[1].handled)
+	}
+	// Each replica saw punts only from its own shard: the switch withholds
+	// Packet-Ins from slave connections.
+	for i := 0; i < 2; i++ {
+		own := rg.r[i].C.Switch(rg.sw[i].DPID).PacketInRate.Total()
+		cross := rg.r[i].C.Switch(rg.sw[1-i].DPID).PacketInRate.Total()
+		if own == 0 {
+			t.Fatalf("replica %d saw no punts from its own shard", i)
+		}
+		if cross != 0 {
+			t.Fatalf("replica %d saw %v punts from the other shard (slave leak)", i, cross)
+		}
+	}
+	if f := rg.cap.FailureFraction("client"); f != 0 {
+		t.Fatalf("client flow failure fraction = %v", f)
+	}
+}
+
+func TestCooperativeMigrationMovesMastershipAndState(t *testing.T) {
+	rg := newTwoShardRig(t, DefaultConfig())
+	rg.sendFlow(0, 3000)
+	rg.eng.RunUntil(200 * time.Millisecond)
+	if rg.r[0].C.FlowDB.Len() != 1 {
+		t.Fatalf("flow state on home replica = %d", rg.r[0].C.FlowDB.Len())
+	}
+
+	rg.co.Migrate("pod-a", rg.r[1])
+	rg.eng.RunUntil(300 * time.Millisecond)
+
+	if got := rg.co.Owner("pod-a"); got != rg.r[1].ID {
+		t.Fatalf("owner after migrate = %d", got)
+	}
+	if got := rg.r[1].C.Switch(rg.sw[0].DPID).Role(); got != openflow.RoleMaster {
+		t.Fatalf("new master role = %s", openflow.RoleName(got))
+	}
+	if got := rg.r[0].C.Switch(rg.sw[0].DPID).Role(); got != openflow.RoleSlave {
+		t.Fatalf("old master role = %s", openflow.RoleName(got))
+	}
+	if rg.r[0].C.FlowDB.Len() != 0 || rg.r[1].C.FlowDB.Len() != 1 {
+		t.Fatalf("flow state after migrate = %d/%d, want 0/1",
+			rg.r[0].C.FlowDB.Len(), rg.r[1].C.FlowDB.Len())
+	}
+	if rg.co.Stats.Migrations != 1 {
+		t.Fatalf("Migrations = %d", rg.co.Stats.Migrations)
+	}
+	if rg.co.Stats.HandoffDoneAt == 0 {
+		t.Fatal("handoff barriers never drained")
+	}
+
+	// New flows on the migrated shard are served by the new replica only.
+	before0 := rg.r[0].C.Stats.PacketIns
+	rg.sendFlow(0, 3001)
+	rg.eng.RunUntil(500 * time.Millisecond)
+	if rg.apps[0].handled != 2 {
+		t.Fatalf("pod app handled = %d, want 2", rg.apps[0].handled)
+	}
+	if rg.apps[0].c != rg.r[1].C {
+		t.Fatal("pod app not rebound to the new replica")
+	}
+	if rg.r[0].C.Stats.PacketIns != before0 {
+		t.Fatal("demoted replica still receives Packet-Ins")
+	}
+	if f := rg.cap.FailureFraction("client"); f != 0 {
+		t.Fatalf("client flow failure fraction = %v", f)
+	}
+}
+
+func TestFailoverReassignsPodsAfterDetectionWindow(t *testing.T) {
+	cfg := DefaultConfig()
+	rg := newTwoShardRig(t, cfg)
+
+	killAt := 1050 * time.Millisecond
+	rg.eng.Schedule(killAt-rg.eng.Now(), func() { rg.r[0].Kill() })
+	rg.eng.RunUntil(2 * time.Second)
+
+	if rg.r[0].Alive() {
+		t.Fatal("killed replica still considered alive")
+	}
+	if got := rg.co.Owner("pod-a"); got != rg.r[1].ID {
+		t.Fatalf("owner after failover = %d", got)
+	}
+	if rg.co.Stats.Failovers != 1 || rg.co.Stats.ReplicasLost != 1 {
+		t.Fatalf("Failovers/ReplicasLost = %d/%d",
+			rg.co.Stats.Failovers, rg.co.Stats.ReplicasLost)
+	}
+	detect := rg.co.Stats.DetectedAt - sim.Time(killAt)
+	window := time.Duration(cfg.HeartbeatMisses) * cfg.HeartbeatInterval
+	if detect <= 0 || detect > window+cfg.HeartbeatInterval {
+		t.Fatalf("detection latency = %v, want within (0, %v]", detect, window+cfg.HeartbeatInterval)
+	}
+
+	// The surviving replica serves the failed shard's new flows.
+	rg.sendFlow(0, 4000)
+	rg.eng.RunUntil(2500 * time.Millisecond)
+	if rg.apps[0].handled != 1 {
+		t.Fatalf("pod app handled = %d, want 1", rg.apps[0].handled)
+	}
+	if f := rg.cap.FailureFraction("client"); f != 0 {
+		t.Fatalf("client flow failure fraction = %v", f)
+	}
+}
+
+func TestBalancerMigratesHotPod(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinLoad = 50
+	rg := &twoShardRig{eng: sim.New(7)}
+	rg.net = topo.New(rg.eng)
+	link := device.LinkConfig{Delay: 50 * time.Microsecond, RateBps: 1e9}
+	rg.cap = capture.New(rg.eng)
+	outPorts := [2]map[netaddr.IPv4]uint32{}
+	for i := 0; i < 2; i++ {
+		rg.sw[i] = rg.net.AddSwitch([]string{"e0", "e1"}[i], device.Pica8Profile())
+		rg.clients[i] = rg.net.AddHost([]string{"c0", "c1"}[i], netaddr.MakeIPv4(10, byte(i), 0, 10))
+		rg.net.AttachHost(rg.clients[i], rg.sw[i], link)
+		rg.servers[i] = rg.net.AddHost([]string{"s0", "s1"}[i], netaddr.MakeIPv4(10, byte(i), 1, 10))
+		srvPort := rg.net.AttachHost(rg.servers[i], rg.sw[i], link)
+		rg.cap.Attach(rg.servers[i])
+		outPorts[i] = map[netaddr.IPv4]uint32{rg.servers[i].IP: srvPort}
+	}
+	rg.co = New(rg.eng, cfg)
+	for i := 0; i < 2; i++ {
+		c := controller.New(rg.eng, rg.net)
+		c.ConnectAll()
+		rg.r[i] = rg.co.AddReplica(c)
+	}
+	// Both pods start on replica 0; replica 1 is an idle spare.
+	for i := 0; i < 2; i++ {
+		app := &reactiveApp{name: []string{"pod-a", "pod-b"}[i], c: rg.r[0].C, outPort: outPorts[i]}
+		rg.r[0].C.Register(app)
+		rg.apps[i] = app
+		rg.co.AddPod(app.name, app, rg.r[0], rg.sw[i].DPID)
+	}
+	rg.co.Start()
+	rg.eng.RunUntil(50 * time.Millisecond)
+
+	// Pod A runs hot (every spoofed flow punts once); pod B stays light.
+	atk := workload.StartDDoS(workload.NewEmitter(rg.eng, rg.clients[0], rg.cap), rg.servers[0].IP, 300)
+	cli := workload.StartClient(workload.NewEmitter(rg.eng, rg.clients[1], rg.cap), rg.servers[1].IP, 20, 1, 0)
+	rg.eng.RunUntil(5 * time.Second)
+	atk.Stop()
+	cli.Stop()
+
+	if rg.co.Stats.Migrations == 0 {
+		t.Fatal("balancer never migrated under sustained imbalance")
+	}
+	if got := rg.co.Owner("pod-a"); got != rg.r[1].ID {
+		t.Fatalf("hot pod owner = %d, want the idle replica", got)
+	}
+	if got := rg.co.Owner("pod-b"); got != rg.r[0].ID {
+		t.Fatalf("light pod owner = %d, want to stay put", got)
+	}
+}

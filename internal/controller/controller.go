@@ -46,6 +46,13 @@ type Stats struct {
 	GroupModsSent  uint64
 	ErrorsReceived uint64
 	EchoReplies    uint64
+
+	// PacketInsDropped counts punts lost at the controller's own ingress
+	// queue when a processing capacity is configured (SetCapacity).
+	PacketInsDropped uint64
+	// SlaveSuppressed counts writes locally suppressed because this
+	// controller's connection to the switch is in the slave role.
+	SlaveSuppressed uint64
 }
 
 // SwitchHandle is the controller's per-switch state.
@@ -58,10 +65,13 @@ type SwitchHandle struct {
 	PacketInRate *metrics.RateMeter
 
 	ctrl         *Controller
+	connID       int
+	role         uint32
 	xid          uint32
 	statsCB      map[uint32]func(*openflow.MultipartReply)
 	statsAcc     map[uint32][]openflow.FlowStats
 	barrierCB    map[uint32]func()
+	roleCB       map[uint32]func(*openflow.RoleReply)
 	echoPending  int
 	lastEchoSent sim.Time
 	dead         bool
@@ -77,8 +87,25 @@ type Controller struct {
 	FlowDB   *FlowInfoDB
 	Stats    Stats
 
+	// InRate tracks the aggregate Packet-In arrival rate across all
+	// switches: a cluster coordinator's primary per-replica load signal.
+	InRate *metrics.RateMeter
+
+	// pinSrv, when SetCapacity is called, paces Packet-In processing: the
+	// controller is then a finite server rather than infinitely fast, and
+	// punts beyond its queue are lost (the central-controller bottleneck
+	// the cluster subsystem exists to relieve). Other message types are
+	// processed immediately — control responses are prioritized over punts.
+	pinSrv *sim.Server[pinJob]
+
 	// OnSwitchDead is invoked once when heartbeats to a switch are lost.
 	OnSwitchDead func(sw *SwitchHandle)
+}
+
+// pinJob is one queued Packet-In awaiting controller CPU.
+type pinJob struct {
+	h *SwitchHandle
+	m *openflow.PacketIn
 }
 
 // New creates a controller over the given network.
@@ -88,11 +115,41 @@ func New(eng *sim.Engine, net *topo.Network) *Controller {
 		Net:      net,
 		switches: make(map[uint64]*SwitchHandle),
 		FlowDB:   NewFlowInfoDB(),
+		InRate:   metrics.NewRateMeter(time.Second, 10),
 	}
+}
+
+// SetCapacity models a controller with finite processing power: Packet-Ins
+// are dispatched through a rate-limited queue of the given depth; overflow
+// is dropped (and counted in Stats.PacketInsDropped). Zero-capacity
+// controllers (the default) process punts immediately.
+func (c *Controller) SetCapacity(rate float64, queue int) {
+	c.pinSrv = sim.NewServer(c.Eng, rate, queue, c.dispatchPacketIn)
+	c.pinSrv.OnDrop(func(pinJob) { c.Stats.PacketInsDropped++ })
+}
+
+// QueueDepth returns the number of Packet-Ins awaiting processing (always
+// zero without SetCapacity).
+func (c *Controller) QueueDepth() int {
+	if c.pinSrv == nil {
+		return 0
+	}
+	return c.pinSrv.QueueLen()
 }
 
 // Register adds an application. Registration order is consultation order.
 func (c *Controller) Register(app App) { c.apps = append(c.apps, app) }
+
+// Unregister removes an application (identity comparison). The cluster
+// dispatcher uses it to take over punt routing for apps it manages.
+func (c *Controller) Unregister(app App) {
+	for i, a := range c.apps {
+		if a == app {
+			c.apps = append(c.apps[:i], c.apps[i+1:]...)
+			return
+		}
+	}
+}
 
 // Connect attaches a switch to the controller and runs the OpenFlow
 // handshake (Hello, Features).
@@ -102,15 +159,32 @@ func (c *Controller) Connect(sw *device.Switch) *SwitchHandle {
 		Dev:          sw,
 		PacketInRate: metrics.NewRateMeter(time.Second, 10),
 		ctrl:         c,
+		role:         openflow.RoleEqual,
 		statsCB:      make(map[uint32]func(*openflow.MultipartReply)),
 		statsAcc:     make(map[uint32][]openflow.FlowStats),
 		barrierCB:    make(map[uint32]func()),
+		roleCB:       make(map[uint32]func(*openflow.RoleReply)),
 	}
 	c.switches[sw.DPID] = h
-	sw.SetController(c.receive)
+	h.connID = sw.AttachController(c.receive)
 	h.send(&openflow.Hello{})
 	h.send(&openflow.FeaturesRequest{})
 	return h
+}
+
+// Disconnect closes the controller's connection to every switch, in DPID
+// order — the simulation of this controller process dying. In-flight
+// messages on the closed connections are dropped by the switches.
+func (c *Controller) Disconnect() {
+	dpids := make([]uint64, 0, len(c.switches))
+	for dpid := range c.switches {
+		dpids = append(dpids, dpid)
+	}
+	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
+	for _, dpid := range dpids {
+		h := c.switches[dpid]
+		h.Dev.DetachController(h.connID)
+	}
 }
 
 // ConnectAll attaches every switch in the network, in DPID order so the
@@ -142,26 +216,62 @@ func (h *SwitchHandle) send(m openflow.Message) uint32 {
 	if err != nil {
 		panic(err)
 	}
-	h.Dev.DeliverControl(b)
+	h.Dev.DeliverControlFrom(h.connID, b)
 	return h.xid
+}
+
+// slave reports (and counts) an attempted write on a slave connection; the
+// switch would reject it anyway, so the controller suppresses it locally.
+func (h *SwitchHandle) slave() bool {
+	if h.role != openflow.RoleSlave {
+		return false
+	}
+	h.ctrl.Stats.SlaveSuppressed++
+	return true
 }
 
 // InstallFlow sends a FlowMod to the switch.
 func (h *SwitchHandle) InstallFlow(fm *openflow.FlowMod) {
+	if h.slave() {
+		return
+	}
 	h.ctrl.Stats.FlowModsSent++
 	h.send(fm)
 }
 
 // SendPacketOut injects a packet at the switch.
 func (h *SwitchHandle) SendPacketOut(po *openflow.PacketOut) {
+	if h.slave() {
+		return
+	}
 	h.ctrl.Stats.PacketOutsSent++
 	h.send(po)
 }
 
 // SendGroupMod installs or modifies a group.
 func (h *SwitchHandle) SendGroupMod(gm *openflow.GroupMod) {
+	if h.slave() {
+		return
+	}
 	h.ctrl.Stats.GroupModsSent++
 	h.send(gm)
+}
+
+// Role returns this controller's role on the switch connection.
+func (h *SwitchHandle) Role() uint32 { return h.role }
+
+// NoteRole records a role learned out of band. OpenFlow 1.3 has no
+// demotion notification: when a new master claims a switch, the cluster
+// coordinator tells the previous master directly.
+func (h *SwitchHandle) NoteRole(role uint32) { h.role = role }
+
+// RequestRole sends a RoleRequest; cb (optional) runs on the RoleReply.
+// The local role is updated when the reply arrives.
+func (h *SwitchHandle) RequestRole(role uint32, generation uint64, cb func(*openflow.RoleReply)) {
+	xid := h.send(&openflow.RoleRequest{Role: role, GenerationID: generation})
+	if cb != nil {
+		h.roleCB[xid] = cb
+	}
 }
 
 // RequestFlowStats queries the switch's flow statistics; cb runs on reply.
@@ -194,12 +304,18 @@ func (c *Controller) receive(dpid uint64, raw []byte) {
 	switch m := msg.(type) {
 	case *openflow.PacketIn:
 		c.Stats.PacketIns++
+		c.InRate.Add(now, 1)
 		h.PacketInRate.Add(now, 1)
-		pkt, _ := packet.Parse(m.Data)
-		for _, app := range c.apps {
-			if app.HandlePacketIn(h, m, pkt) {
-				break
-			}
+		if c.pinSrv != nil {
+			c.pinSrv.Submit(pinJob{h, m})
+		} else {
+			c.dispatchPacketIn(pinJob{h, m})
+		}
+	case *openflow.RoleReply:
+		h.role = m.Role
+		if cb, ok := h.roleCB[xid]; ok {
+			delete(h.roleCB, xid)
+			cb(m)
 		}
 	case *openflow.EchoReply:
 		c.Stats.EchoReplies++
@@ -235,28 +351,42 @@ func (c *Controller) receive(dpid uint64, raw []byte) {
 	}
 }
 
-// StartHeartbeat begins periodic ECHO probing of the given switches. A
-// switch that misses `misses` consecutive replies is declared dead and
-// OnSwitchDead fires once (the paper's vSwitch failure detection, §5.6).
-func (c *Controller) StartHeartbeat(dpids []uint64, interval time.Duration, misses int) *sim.Ticker {
-	return c.Eng.Every(interval, func() {
-		for _, dpid := range dpids {
-			h := c.switches[dpid]
-			if h == nil || h.dead {
-				continue
-			}
-			if h.echoPending >= misses {
-				h.dead = true
-				if c.OnSwitchDead != nil {
-					c.OnSwitchDead(h)
-				}
-				continue
-			}
-			h.echoPending++
-			h.lastEchoSent = c.Eng.Now()
-			h.send(&openflow.EchoRequest{Data: []byte{byte(dpid)}})
+// dispatchPacketIn parses a punt and consults the apps in registration
+// order; with SetCapacity this runs from the paced queue.
+func (c *Controller) dispatchPacketIn(j pinJob) {
+	pkt, _ := packet.Parse(j.m.Data)
+	for _, app := range c.apps {
+		if app.HandlePacketIn(j.h, j.m, pkt) {
+			break
 		}
-	})
+	}
+}
+
+// HeartbeatTick performs one ECHO probe round over the given switches: a
+// switch with `misses` unanswered probes outstanding is declared dead and
+// OnSwitchDead fires once (the paper's vSwitch failure detection, §5.6).
+func (c *Controller) HeartbeatTick(dpids []uint64, misses int) {
+	for _, dpid := range dpids {
+		h := c.switches[dpid]
+		if h == nil || h.dead {
+			continue
+		}
+		if h.echoPending >= misses {
+			h.dead = true
+			if c.OnSwitchDead != nil {
+				c.OnSwitchDead(h)
+			}
+			continue
+		}
+		h.echoPending++
+		h.lastEchoSent = c.Eng.Now()
+		h.send(&openflow.EchoRequest{Data: []byte{byte(dpid)}})
+	}
+}
+
+// StartHeartbeat begins periodic ECHO probing of the given switches.
+func (c *Controller) StartHeartbeat(dpids []uint64, interval time.Duration, misses int) *sim.Ticker {
+	return c.Eng.Every(interval, func() { c.HeartbeatTick(dpids, misses) })
 }
 
 // InstallPath installs forwarding rules along hops in reverse order so the

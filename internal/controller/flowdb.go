@@ -50,6 +50,17 @@ func (db *FlowInfoDB) Delete(key netaddr.FlowKey) { delete(db.flows, key) }
 // Len returns the number of records.
 func (db *FlowInfoDB) Len() int { return len(db.flows) }
 
+// All returns every record ordered by flow key; cluster migration uses it
+// to transfer a shard's flow state between replicas deterministically.
+func (db *FlowInfoDB) All() []*FlowInfo {
+	out := make([]*FlowInfo, 0, len(db.flows))
+	for _, fi := range db.flows {
+		out = append(out, fi)
+	}
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Key, out[j].Key) })
+	return out
+}
+
 // OverlayFlows returns all records currently on the overlay, ordered by
 // flow key: callers act on the result (stats polls, migrations), so the
 // order must not leak map iteration nondeterminism into the simulation.

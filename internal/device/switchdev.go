@@ -28,6 +28,9 @@ type SwitchStats struct {
 	RulesDeleted    uint64
 	InsertQueueDrop uint64 // FlowMods lost to OFA queue overflow
 	TableFull       uint64 // inserts rejected by TCAM capacity
+
+	SlaveDenied uint64 // writes rejected because the connection is a slave
+	RoleStale   uint64 // role claims fenced off by the generation check
 }
 
 // Switch is a simulated OpenFlow switch: a data plane driven by a flow
@@ -47,7 +50,15 @@ type Switch struct {
 	ruleSrv     *sim.Server[any]
 	insertMeter *metrics.RateMeter
 
-	ctrl   func(dpid uint64, msg []byte) // transmit to controller
+	// conns are the switch's controller connections in attach order. Each
+	// has an OpenFlow role: asynchronous messages (Packet-In, Flow-Removed,
+	// unsolicited Errors) go to master and equal connections only; request
+	// replies go to the requesting connection.
+	conns    []*ctrlConn
+	nextConn int
+	genID    uint64 // newest generation id seen in a master/slave claim
+	genSeen  bool
+
 	xid    uint32
 	failed bool
 
@@ -93,8 +104,57 @@ func (sw *Switch) attachPort(p *Port) { sw.ports[p.ID] = p }
 // Port returns the port with the given id, or nil.
 func (sw *Switch) Port(id uint32) *Port { return sw.ports[id] }
 
-// SetController registers the transmit function toward the controller.
-func (sw *Switch) SetController(fn func(dpid uint64, msg []byte)) { sw.ctrl = fn }
+// ctrlConn is one controller connection at the switch's OFA.
+type ctrlConn struct {
+	id   int
+	send func(dpid uint64, msg []byte)
+	role uint32
+}
+
+// SetController installs fn as the switch's only controller connection
+// (id 0, equal role), replacing any existing connections. This is the
+// single-controller fast path; clustered controllers use AttachController.
+func (sw *Switch) SetController(fn func(dpid uint64, msg []byte)) {
+	sw.conns = []*ctrlConn{{id: 0, send: fn, role: openflow.RoleEqual}}
+	sw.nextConn = 1
+}
+
+// AttachController adds a controller connection (equal role until a
+// RoleRequest changes it) and returns its connection id.
+func (sw *Switch) AttachController(fn func(dpid uint64, msg []byte)) int {
+	id := sw.nextConn
+	sw.nextConn++
+	sw.conns = append(sw.conns, &ctrlConn{id: id, send: fn, role: openflow.RoleEqual})
+	return id
+}
+
+// DetachController closes a controller connection; in-flight messages from
+// it are dropped, like a torn-down TCP session.
+func (sw *Switch) DetachController(id int) {
+	for i, c := range sw.conns {
+		if c.id == id {
+			sw.conns = append(sw.conns[:i], sw.conns[i+1:]...)
+			return
+		}
+	}
+}
+
+// ControllerRole returns the role of a connection (ok=false if unknown).
+func (sw *Switch) ControllerRole(id int) (uint32, bool) {
+	if c := sw.conn(id); c != nil {
+		return c.role, true
+	}
+	return 0, false
+}
+
+func (sw *Switch) conn(id int) *ctrlConn {
+	for _, c := range sw.conns {
+		if c.id == id {
+			return c
+		}
+	}
+	return nil
+}
 
 // Fail simulates a crash: the switch stops forwarding and stops answering
 // the controller (heartbeats included). Used by the vSwitch failover
@@ -214,84 +274,170 @@ func (sw *Switch) emitPacketIn(it dataItem) {
 		Match:    m,
 		Data:     data,
 	}
-	sw.sendToController(msg)
+	sw.sendAsync(msg)
 }
 
-func (sw *Switch) sendToController(m openflow.Message) {
+// sendAsync fans an asynchronous message (Packet-In, Flow-Removed) out to
+// every master and equal connection; slaves receive nothing (OF 1.3 §6.3).
+func (sw *Switch) sendAsync(m openflow.Message) {
 	sw.xid++
-	sw.sendToControllerXID(m, sw.xid)
+	b, err := openflow.Marshal(m, sw.xid)
+	if err != nil {
+		panic(fmt.Sprintf("device: marshal %v: %v", m.Type(), err))
+	}
+	dpid := sw.DPID
+	for _, c := range sw.conns {
+		if c.role == openflow.RoleSlave {
+			continue
+		}
+		send := c.send
+		sw.eng.Schedule(sw.Profile.CtrlDelay, func() { send(dpid, b) })
+	}
 }
 
-// sendToControllerXID transmits with an explicit transaction id, used for
-// replies, which must echo the request's xid.
-func (sw *Switch) sendToControllerXID(m openflow.Message, xid uint32) {
-	if sw.ctrl == nil {
-		return
+// sendToConnXID transmits a reply to one connection with an explicit
+// transaction id (replies must echo the request's xid).
+func (sw *Switch) sendToConnXID(connID int, m openflow.Message, xid uint32) {
+	c := sw.conn(connID)
+	if c == nil {
+		return // connection closed since the request arrived
 	}
 	b, err := openflow.Marshal(m, xid)
 	if err != nil {
 		panic(fmt.Sprintf("device: marshal %v: %v", m.Type(), err))
 	}
-	send := sw.ctrl
+	send := c.send
 	dpid := sw.DPID
 	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { send(dpid, b) })
 }
 
-// DeliverControl accepts an encoded controller-to-switch message; it is
-// processed after the control channel's one-way delay.
-func (sw *Switch) DeliverControl(b []byte) {
-	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { sw.handleControl(b) })
+// DeliverControl accepts an encoded controller-to-switch message on the
+// primary (id 0) connection; it is processed after the control channel's
+// one-way delay.
+func (sw *Switch) DeliverControl(b []byte) { sw.DeliverControlFrom(0, b) }
+
+// DeliverControlFrom accepts an encoded controller-to-switch message on a
+// specific connection.
+func (sw *Switch) DeliverControlFrom(connID int, b []byte) {
+	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { sw.handleControl(connID, b) })
 }
 
-type barrierMarker struct{ xid uint32 }
+type barrierMarker struct {
+	conn int
+	xid  uint32
+}
 
-func (sw *Switch) handleControl(b []byte) {
+// ruleItem is a FlowMod queued at the OFA, tagged with its originating
+// connection so errors can be routed back to the sender.
+type ruleItem struct {
+	conn int
+	xid  uint32
+	fm   *openflow.FlowMod
+}
+
+func (sw *Switch) handleControl(connID int, b []byte) {
 	if sw.failed {
 		return
+	}
+	c := sw.conn(connID)
+	if c == nil {
+		if sw.nextConn != 0 {
+			return // connection closed while the message was in flight
+		}
+		// No controller ever attached (headless tests drive the switch
+		// directly): process the message, drop any reply.
+		c = &ctrlConn{id: connID, role: openflow.RoleEqual}
 	}
 	msg, xid, err := openflow.Unmarshal(b)
 	if err != nil {
 		return
 	}
+	// Slave connections are read-only: state-changing requests bounce with
+	// an is-slave error and never reach the pipeline.
+	if c.role == openflow.RoleSlave {
+		switch msg.(type) {
+		case *openflow.FlowMod, *openflow.GroupMod, *openflow.PacketOut:
+			sw.Stats.SlaveDenied++
+			sw.sendToConnXID(connID, &openflow.Error{
+				ErrType: openflow.ErrTypeBadRequest,
+				Code:    openflow.ErrCodeIsSlave,
+			}, xid)
+			return
+		}
+	}
 	switch m := msg.(type) {
 	case *openflow.Hello:
-		sw.sendToControllerXID(&openflow.Hello{}, xid)
+		sw.sendToConnXID(connID, &openflow.Hello{}, xid)
 	case *openflow.EchoRequest:
-		sw.sendToControllerXID(&openflow.EchoReply{Data: m.Data}, xid)
+		sw.sendToConnXID(connID, &openflow.EchoReply{Data: m.Data}, xid)
 	case *openflow.FeaturesRequest:
-		sw.sendToControllerXID(&openflow.FeaturesReply{
+		sw.sendToConnXID(connID, &openflow.FeaturesReply{
 			DatapathID: sw.DPID,
 			NTables:    uint8(len(sw.Pipeline.Tables)),
 		}, xid)
+	case *openflow.RoleRequest:
+		sw.handleRoleRequest(c, m, xid)
 	case *openflow.FlowMod:
 		sw.Stats.FlowModReceived++
-		sw.ruleSrv.Submit(m)
+		sw.ruleSrv.Submit(ruleItem{conn: connID, xid: xid, fm: m})
 		sw.updateRuleRate()
 	case *openflow.GroupMod:
 		// Group churn is rare (overlay reconfiguration); apply directly.
 		if err := sw.Pipeline.Groups.Apply(m); err != nil {
-			sw.sendToController(&openflow.Error{ErrType: openflow.ErrTypeGroupModFailed})
+			sw.sendToConnXID(connID, &openflow.Error{ErrType: openflow.ErrTypeGroupModFailed}, xid)
 		}
 	case *openflow.PacketOut:
 		if pkt, err := packet.Parse(m.Data); err == nil {
 			sw.execute(pkt, m.InPort, m.Actions)
 		}
 	case *openflow.MultipartRequest:
-		sw.replyFlowStats(m, xid)
+		sw.replyFlowStats(connID, m, xid)
 	case *openflow.BarrierRequest:
-		sw.ruleSrv.Submit(barrierMarker{xid})
+		sw.ruleSrv.Submit(barrierMarker{conn: connID, xid: xid})
 	}
+}
+
+// handleRoleRequest applies a role change (OF 1.3 §6.3): master/slave
+// claims carry a generation id and are fenced off when stale; a granted
+// master claim demotes the previous master to slave.
+func (sw *Switch) handleRoleRequest(c *ctrlConn, m *openflow.RoleRequest, xid uint32) {
+	switch m.Role {
+	case openflow.RoleMaster, openflow.RoleSlave:
+		if sw.genSeen && int64(m.GenerationID-sw.genID) < 0 {
+			sw.Stats.RoleStale++
+			sw.sendToConnXID(c.id, &openflow.Error{
+				ErrType: openflow.ErrTypeRoleRequestFailed,
+				Code:    openflow.ErrCodeRoleStale,
+			}, xid)
+			return
+		}
+		sw.genSeen = true
+		sw.genID = m.GenerationID
+		if m.Role == openflow.RoleMaster {
+			for _, o := range sw.conns {
+				if o != c && o.role == openflow.RoleMaster {
+					o.role = openflow.RoleSlave
+				}
+			}
+		}
+		c.role = m.Role
+	case openflow.RoleEqual:
+		c.role = openflow.RoleEqual
+	}
+	// RoleNoChange (and unknown values) fall through as a pure query.
+	sw.sendToConnXID(c.id, &openflow.RoleReply{Role: c.role, GenerationID: sw.genID}, xid)
 }
 
 // processRule is the OFA's rule-installation stage.
 func (sw *Switch) processRule(v any) {
 	defer sw.updateRuleRate()
 	now := sw.eng.Now()
-	switch m := v.(type) {
+	switch it := v.(type) {
 	case barrierMarker:
-		sw.sendToControllerXID(&openflow.BarrierReply{}, m.xid)
+		sw.sendToConnXID(it.conn, &openflow.BarrierReply{}, it.xid)
 		return
-	case *openflow.FlowMod:
+	case ruleItem:
+		m := it.fm
 		sw.insertMeter.Add(now, 1)
 		tbl := sw.Pipeline.Table(m.TableID)
 		if tbl == nil {
@@ -311,10 +457,10 @@ func (sw *Switch) processRule(v any) {
 			}
 			if err := tbl.Insert(rule); err != nil {
 				sw.Stats.TableFull++
-				sw.sendToController(&openflow.Error{
+				sw.sendToConnXID(it.conn, &openflow.Error{
 					ErrType: openflow.ErrTypeFlowModFailed,
 					Code:    openflow.ErrCodeTableFull,
-				})
+				}, it.xid)
 				return
 			}
 			sw.Stats.RulesInstalled++
@@ -352,7 +498,7 @@ func (sw *Switch) notifyRemoved(r *flowtable.Rule, reason uint8, now sim.Time) {
 	if r.Flags&openflow.FlagSendFlowRem == 0 {
 		return
 	}
-	sw.sendToController(&openflow.FlowRemoved{
+	sw.sendAsync(&openflow.FlowRemoved{
 		Cookie:      r.Cookie,
 		Priority:    r.Priority,
 		Reason:      reason,
@@ -364,7 +510,7 @@ func (sw *Switch) notifyRemoved(r *flowtable.Rule, reason uint8, now sim.Time) {
 	})
 }
 
-func (sw *Switch) replyFlowStats(req *openflow.MultipartRequest, xid uint32) {
+func (sw *Switch) replyFlowStats(connID int, req *openflow.MultipartRequest, xid uint32) {
 	if req.MPType != openflow.MultipartFlow || req.Flow == nil {
 		return
 	}
@@ -403,7 +549,7 @@ func (sw *Switch) replyFlowStats(req *openflow.MultipartRequest, xid uint32) {
 			More:   end < len(reply.Flows),
 			Flows:  reply.Flows[start:end],
 		}
-		sw.sendToControllerXID(part, xid)
+		sw.sendToConnXID(connID, part, xid)
 		if end == len(reply.Flows) {
 			break
 		}

@@ -13,6 +13,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14", "fig15",
 		"ablation-fanout", "ablation-elephant-threshold", "ablation-scheduler",
 		"ablation-fifo-scheduler", "ablation-withdrawal",
+		"cluster-scale", "cluster-migrate", "cluster-failover",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

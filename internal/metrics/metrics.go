@@ -19,6 +19,7 @@ type RateMeter struct {
 	bucket  time.Duration
 	buckets []float64
 	base    int64 // index of buckets[0] in units of bucket since t=0
+	total   float64
 }
 
 // NewRateMeter returns a meter with the given window, divided into n
@@ -58,7 +59,11 @@ func (m *RateMeter) Add(now sim.Time, n float64) {
 	if i >= 0 && i < int64(len(m.buckets)) {
 		m.buckets[i] += n
 	}
+	m.total += n
 }
+
+// Total returns the lifetime event count, independent of the window.
+func (m *RateMeter) Total() float64 { return m.total }
 
 // Rate returns the average event rate (events/second) over the window
 // ending at now.

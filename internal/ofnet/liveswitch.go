@@ -24,14 +24,24 @@ type LiveSwitch struct {
 	pipeline *flowtable.Pipeline
 	outputs  map[uint32]func(*packet.Packet)
 	start    time.Time
-	conn     *Conn
+	conns    map[*Conn]*connRole
+	genID    uint64
+	genSeen  bool
 
 	// Stats. Atomics, not mu-guarded fields: the data plane (Inject, any
 	// goroutine) and the control loop (DialAndServe's goroutine) both
 	// update them, and monitors read them without stalling either.
-	Forwarded atomic.Uint64
-	Misses    atomic.Uint64
-	Installed atomic.Uint64
+	Forwarded   atomic.Uint64
+	Misses      atomic.Uint64
+	Installed   atomic.Uint64
+	SlaveDenied atomic.Uint64
+	RoleStale   atomic.Uint64
+}
+
+// connRole is the switch-side view of one controller connection's
+// OpenFlow role (multi-controller, OF 1.3 §6.3).
+type connRole struct {
+	role uint32
 }
 
 // NewLiveSwitch creates a switch with the given number of flow tables.
@@ -41,6 +51,7 @@ func NewLiveSwitch(dpid uint64, tables int) *LiveSwitch {
 		pipeline: flowtable.NewPipeline(tables, 0),
 		outputs:  make(map[uint32]func(*packet.Packet)),
 		start:    time.Now(),
+		conns:    make(map[*Conn]*connRole),
 	}
 }
 
@@ -54,14 +65,19 @@ func (ls *LiveSwitch) RegisterPort(id uint32, deliver func(*packet.Packet)) {
 func (ls *LiveSwitch) now() sim.Time { return time.Since(ls.start) }
 
 // Inject offers a packet to the data plane on the given ingress port.
-// Misses are punted to the controller when connected.
+// Misses are punted to every connected controller that has not taken
+// the slave role (OF 1.3 §6.3: slaves receive no async messages).
 func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 	ls.mu.Lock()
 	res := ls.pipeline.Process(pkt, inPort, ls.now())
-	var conn *Conn
+	var punt []*Conn
 	if res.Miss {
 		ls.Misses.Add(1)
-		conn = ls.conn
+		for c, r := range ls.conns {
+			if r.role != openflow.RoleSlave {
+				punt = append(punt, c)
+			}
+		}
 	} else {
 		ls.Forwarded.Add(1)
 	}
@@ -69,7 +85,7 @@ func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 	ls.mu.Unlock()
 
 	if res.Miss {
-		if conn != nil {
+		if len(punt) > 0 {
 			pin := &openflow.PacketIn{
 				BufferID: 0xffffffff,
 				TotalLen: uint16(pkt.Size),
@@ -77,9 +93,11 @@ func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 				Match:    openflow.Match{Fields: openflow.FieldInPort, InPort: inPort},
 				Data:     pkt.Marshal(),
 			}
-			// A send failure here means the control connection dropped;
-			// DialAndServe's read loop surfaces it.
-			conn.Send(pin)
+			for _, conn := range punt {
+				// A send failure here means that control connection
+				// dropped; its DialAndServe read loop surfaces it.
+				conn.Send(pin)
+			}
 		}
 		return
 	}
@@ -138,11 +156,11 @@ func (ls *LiveSwitch) DialAndServe(ctx context.Context, addr string) error {
 	}
 	conn := NewConn(nc)
 	ls.mu.Lock()
-	ls.conn = conn
+	ls.conns[conn] = &connRole{role: openflow.RoleEqual}
 	ls.mu.Unlock()
 	defer func() {
 		ls.mu.Lock()
-		ls.conn = nil
+		delete(ls.conns, conn)
 		ls.mu.Unlock()
 		conn.Close()
 	}()
@@ -167,7 +185,31 @@ func (ls *LiveSwitch) DialAndServe(ctx context.Context, addr string) error {
 	}
 }
 
+// roleOf reports the role of a controller connection. Connections that
+// never negotiated a role (including test harnesses driving handle
+// directly) default to Equal.
+func (ls *LiveSwitch) roleOf(conn *Conn) uint32 {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	if r := ls.conns[conn]; r != nil {
+		return r.role
+	}
+	return openflow.RoleEqual
+}
+
 func (ls *LiveSwitch) handle(conn *Conn, msg openflow.Message, xid uint32) error {
+	// Slave controllers hold a read-only view: controller-to-switch
+	// state mutations bounce with OFPBRC_IS_SLAVE (OF 1.3 §6.3).
+	switch msg.(type) {
+	case *openflow.FlowMod, *openflow.GroupMod, *openflow.PacketOut:
+		if ls.roleOf(conn) == openflow.RoleSlave {
+			ls.SlaveDenied.Add(1)
+			return conn.SendXID(&openflow.Error{
+				ErrType: openflow.ErrTypeBadRequest,
+				Code:    openflow.ErrCodeIsSlave,
+			}, xid)
+		}
+	}
 	switch m := msg.(type) {
 	case *openflow.Hello:
 		return nil
@@ -199,8 +241,50 @@ func (ls *LiveSwitch) handle(conn *Conn, msg openflow.Message, xid uint32) error
 		return conn.SendXID(&openflow.BarrierReply{}, xid)
 	case *openflow.MultipartRequest:
 		return ls.replyStats(conn, m, xid)
+	case *openflow.RoleRequest:
+		return ls.applyRoleRequest(conn, m, xid)
 	}
 	return nil
+}
+
+// applyRoleRequest negotiates this connection's controller role.
+// Master/slave claims carry a generation id; claims older than the
+// highest generation seen are fenced off so a partitioned ex-master
+// cannot reclaim the switch (OF 1.3 §6.3). A successful master claim
+// demotes every other master connection to slave.
+func (ls *LiveSwitch) applyRoleRequest(conn *Conn, m *openflow.RoleRequest, xid uint32) error {
+	ls.mu.Lock()
+	cr := ls.conns[conn]
+	if cr == nil {
+		cr = &connRole{role: openflow.RoleEqual}
+		ls.conns[conn] = cr
+	}
+	switch m.Role {
+	case openflow.RoleMaster, openflow.RoleSlave:
+		if ls.genSeen && int64(m.GenerationID-ls.genID) < 0 {
+			ls.mu.Unlock()
+			ls.RoleStale.Add(1)
+			return conn.SendXID(&openflow.Error{
+				ErrType: openflow.ErrTypeRoleRequestFailed,
+				Code:    openflow.ErrCodeRoleStale,
+			}, xid)
+		}
+		ls.genID = m.GenerationID
+		ls.genSeen = true
+		if m.Role == openflow.RoleMaster {
+			for other, r := range ls.conns {
+				if other != conn && r.role == openflow.RoleMaster {
+					r.role = openflow.RoleSlave
+				}
+			}
+		}
+		cr.role = m.Role
+	case openflow.RoleEqual:
+		cr.role = openflow.RoleEqual
+	}
+	role, gen := cr.role, ls.genID
+	ls.mu.Unlock()
+	return conn.SendXID(&openflow.RoleReply{Role: role, GenerationID: gen}, xid)
 }
 
 func (ls *LiveSwitch) applyFlowMod(conn *Conn, m *openflow.FlowMod, xid uint32) error {

@@ -69,9 +69,11 @@ type SwitchConn struct {
 	NTables  uint8
 	conn     *Conn
 	ctrl     *Controller
-	lastEcho atomic.Int64 // unix nanos of the last echo reply
+	lastEcho atomic.Int64  // unix nanos of the last echo reply
+	role     atomic.Uint32 // last role confirmed by a RoleReply
 
-	PacketIns atomic.Uint64
+	PacketIns       atomic.Uint64
+	SlaveSuppressed atomic.Uint64
 }
 
 // Install sends a FlowMod to the switch.
@@ -95,6 +97,20 @@ func (s *SwitchConn) GroupMod(gm *openflow.GroupMod) error {
 // LastEcho returns the time of the last heartbeat reply.
 func (s *SwitchConn) LastEcho() time.Time {
 	return time.Unix(0, s.lastEcho.Load())
+}
+
+// Role returns the controller's role on this switch as last confirmed
+// by a RoleReply. Connections start out Equal (OF 1.3 §6.3).
+func (s *SwitchConn) Role() uint32 { return s.role.Load() }
+
+// RequestRole asks the switch for a role change. Master and slave
+// claims must carry a generation id no older than the switch's highest
+// seen; stale claims are answered with a RoleRequestFailed error and
+// the local role is left unchanged. The confirmed role is applied when
+// the RoleReply arrives on the read loop.
+func (s *SwitchConn) RequestRole(role uint32, generation uint64) error {
+	_, err := s.conn.Send(&openflow.RoleRequest{Role: role, GenerationID: generation})
+	return err
 }
 
 // Handler receives controller events. Implementations must be safe for
@@ -225,6 +241,13 @@ func (c *Controller) serveSwitch(conn *Conn) {
 		}
 		switch m := msg.(type) {
 		case *openflow.PacketIn:
+			// The switch already withholds Packet-Ins from slave
+			// connections; dropping here too covers the window where a
+			// punt raced with our own demotion.
+			if sw.role.Load() == openflow.RoleSlave {
+				sw.SlaveSuppressed.Add(1)
+				continue
+			}
 			sw.PacketIns.Add(1)
 			c.handler.PacketIn(sw, m)
 		case *openflow.EchoRequest:
@@ -233,6 +256,8 @@ func (c *Controller) serveSwitch(conn *Conn) {
 			}
 		case *openflow.EchoReply:
 			sw.lastEcho.Store(time.Now().UnixNano())
+		case *openflow.RoleReply:
+			sw.role.Store(m.Role)
 		case *openflow.Error, *openflow.FlowRemoved, *openflow.MultipartReply, *openflow.BarrierReply:
 			// Accepted silently; extend Handler as needed.
 		}
@@ -257,7 +282,9 @@ func (c *Controller) handshake(conn *Conn) (*SwitchConn, error) {
 			if !sawHello {
 				return nil, errors.New("ofnet: features reply before hello")
 			}
-			return &SwitchConn{DPID: m.DatapathID, NTables: m.NTables, conn: conn, ctrl: c}, nil
+			sw := &SwitchConn{DPID: m.DatapathID, NTables: m.NTables, conn: conn, ctrl: c}
+			sw.role.Store(openflow.RoleEqual)
+			return sw, nil
 		}
 	}
 	return nil, fmt.Errorf("ofnet: handshake timeout from %v", conn.RemoteAddr())

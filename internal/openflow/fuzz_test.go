@@ -21,6 +21,12 @@ func FuzzMessageRoundTrip(f *testing.F) {
 	// A few deliberately hostile shapes beyond the valid corpus.
 	f.Add([]byte{Version, byte(TypeFlowMod), 0, 8, 0, 0, 0, 1})
 	f.Add([]byte{Version, byte(TypePacketIn), 0xff, 0xff, 0, 0, 0, 0})
+	// Truncated role request: header promises a body it does not carry.
+	f.Add([]byte{Version, byte(TypeRoleRequest), 0, 12, 0, 0, 0, 2, 0, 0, 0, 2})
+	// Role reply with an out-of-range role and a max generation id.
+	f.Add([]byte{Version, byte(TypeRoleReply), 0, 24, 0, 0, 0, 3,
+		0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, xid, err := Unmarshal(data)
 		if err != nil {

@@ -539,9 +539,15 @@ func (m *MultipartReply) unmarshalBody(b []byte) error {
 
 // Error codes used by the simulated switches.
 const (
+	ErrTypeBadRequest     uint16 = 1
+	ErrCodeIsSlave        uint16 = 10 // OFPBRC_IS_SLAVE: write from a slave connection
 	ErrTypeFlowModFailed  uint16 = 5
 	ErrCodeTableFull      uint16 = 1
 	ErrTypeGroupModFailed uint16 = 6
+	// OFPET_ROLE_REQUEST_FAILED: the generation id of a master/slave claim
+	// was older than the newest the switch has seen (fenced-off controller).
+	ErrTypeRoleRequestFailed uint16 = 11
+	ErrCodeRoleStale         uint16 = 0
 )
 
 // Error reports a failed request back to the controller.

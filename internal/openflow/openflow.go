@@ -38,6 +38,8 @@ const (
 	TypeMultipartReply   MsgType = 19
 	TypeBarrierRequest   MsgType = 20
 	TypeBarrierReply     MsgType = 21
+	TypeRoleRequest      MsgType = 24
+	TypeRoleReply        MsgType = 25
 )
 
 func (t MsgType) String() string {
@@ -72,6 +74,10 @@ func (t MsgType) String() string {
 		return "BARRIER_REQUEST"
 	case TypeBarrierReply:
 		return "BARRIER_REPLY"
+	case TypeRoleRequest:
+		return "ROLE_REQUEST"
+	case TypeRoleReply:
+		return "ROLE_REPLY"
 	}
 	return fmt.Sprintf("OFPT(%d)", uint8(t))
 }
@@ -163,6 +169,10 @@ func newMessage(t MsgType) (Message, error) {
 		return &BarrierRequest{}, nil
 	case TypeBarrierReply:
 		return &BarrierReply{}, nil
+	case TypeRoleRequest:
+		return &RoleRequest{}, nil
+	case TypeRoleReply:
+		return &RoleReply{}, nil
 	}
 	return nil, fmt.Errorf("openflow: unknown message type %d", uint8(t))
 }

@@ -26,6 +26,8 @@ func corpus(t testing.TB) [][]byte {
 		&Error{ErrType: 1, Code: 2, Data: []byte{3}},
 		&BarrierRequest{},
 		&BarrierReply{},
+		&RoleRequest{Role: RoleMaster, GenerationID: 7},
+		&RoleReply{Role: RoleSlave, GenerationID: 8},
 	}
 	var out [][]byte
 	for _, m := range msgs {
@@ -73,7 +75,7 @@ func TestUnmarshalRandomGarbage(t *testing.T) {
 		b := make([]byte, n)
 		rng.Read(b)
 		b[0] = Version
-		b[1] = byte(rng.Intn(24))
+		b[1] = byte(rng.Intn(26))
 		b[2] = byte(n >> 8)
 		b[3] = byte(n)
 		Unmarshal(b)

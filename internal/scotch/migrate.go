@@ -281,8 +281,7 @@ func (a *App) migrate(fi *controller.FlowInfo) {
 	}
 	for _, hop := range hops[1:] {
 		hop := hop
-		h := a.C.Switch(hop.DPID)
-		if h == nil {
+		if a.C.Switch(hop.DPID) == nil {
 			pending--
 			if pending == 0 {
 				finish()
@@ -290,7 +289,9 @@ func (a *App) migrate(fi *controller.FlowInfo) {
 			continue
 		}
 		a.sched(hop.DPID).SubmitAdmitted(func() {
-			h.InstallFlow(a.redRuleFor(match, hop))
+			if h := a.C.Switch(hop.DPID); h != nil {
+				h.InstallFlow(a.redRuleFor(match, hop))
+			}
 			pending--
 			if pending == 0 {
 				finish()

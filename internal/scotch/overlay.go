@@ -406,8 +406,14 @@ func (o *Overlay) activate(dpid uint64) {
 	st.active = true
 	o.app.Stats.Activations++
 	sched := o.app.sched(dpid)
+	// Handles are re-resolved at service time so installs queued across a
+	// cluster migration drain through the new master's connection.
 	// Table 1 default first so table 0 never forwards into a void.
 	sched.SubmitAdmitted(func() {
+		h := o.app.C.Switch(dpid)
+		if h == nil {
+			return
+		}
 		h.InstallFlow(&openflow.FlowMod{
 			Command: openflow.FlowAdd, TableID: 1, Priority: prioOffloadDefault,
 			Instructions: []openflow.Instruction{
@@ -418,6 +424,10 @@ func (o *Overlay) activate(dpid uint64) {
 	for _, port := range st.ingressPorts {
 		port := port
 		sched.SubmitAdmitted(func() {
+			h := o.app.C.Switch(dpid)
+			if h == nil {
+				return
+			}
 			var acts []openflow.Action
 			if o.app.Cfg.TunnelType == device.TunnelGRE {
 				acts = []openflow.Action{openflow.SetTunnelAction(uint64(port))}
@@ -449,6 +459,10 @@ func (o *Overlay) deactivate(dpid uint64) {
 	for _, port := range st.ingressPorts {
 		port := port
 		sched.SubmitAdmitted(func() {
+			h := o.app.C.Switch(dpid)
+			if h == nil {
+				return
+			}
 			h.InstallFlow(&openflow.FlowMod{
 				Command: openflow.FlowDeleteStrict, TableID: 0, Priority: prioOffloadPortTag,
 				Match: openflow.Match{Fields: openflow.FieldInPort, InPort: port},
@@ -456,6 +470,10 @@ func (o *Overlay) deactivate(dpid uint64) {
 		})
 	}
 	sched.SubmitAdmitted(func() {
+		h := o.app.C.Switch(dpid)
+		if h == nil {
+			return
+		}
 		h.InstallFlow(&openflow.FlowMod{
 			Command: openflow.FlowDeleteStrict, TableID: 1, Priority: prioOffloadDefault,
 		})

@@ -165,6 +165,10 @@ type App struct {
 	mboxes    map[string]*MiddleboxChain
 	migrating map[netaddr.FlowKey]bool
 
+	// owns, when set, restricts which punting switches this app instance
+	// handles (cluster sharding); nil handles everything.
+	owns func(dpid uint64) bool
+
 	Stats Stats
 }
 
@@ -185,6 +189,32 @@ func New(c *controller.Controller, cfg Config) *App {
 
 // Name implements controller.App.
 func (a *App) Name() string { return "scotch" }
+
+// SetOwner restricts the app to punts from switches fn claims; punts from
+// other switches are declined so another app (or shard) can take them.
+func (a *App) SetOwner(fn func(dpid uint64) bool) { a.owns = fn }
+
+// Rebind moves the app onto another controller: all future handle
+// resolution, flow-database access, and failover hooks act through c. The
+// cluster coordinator calls this during switch migration; work already
+// queued in the install schedulers re-resolves its switch handles at
+// service time, so queued installs drain through the new master.
+func (a *App) Rebind(c *controller.Controller) {
+	a.C = c
+	a.installDeadHook()
+}
+
+// installDeadHook chains the overlay's vSwitch-failover handler onto the
+// current controller's dead-switch notification.
+func (a *App) installDeadHook() {
+	prevDead := a.C.OnSwitchDead
+	a.C.OnSwitchDead = func(h *controller.SwitchHandle) {
+		a.ov.failover(h.DPID)
+		if prevDead != nil {
+			prevDead(h)
+		}
+	}
+}
 
 // AddVSwitch adds a mesh member; backups only serve after a failover.
 func (a *App) AddVSwitch(dpid uint64, backup bool) {
@@ -221,14 +251,13 @@ func (a *App) Build() error {
 	a.C.Eng.Every(a.Cfg.StatsInterval, a.pollElephants)
 	var mesh []uint64
 	mesh = append(mesh, a.ov.vswitches...)
-	prevDead := a.C.OnSwitchDead
-	a.C.OnSwitchDead = func(h *controller.SwitchHandle) {
-		a.ov.failover(h.DPID)
-		if prevDead != nil {
-			prevDead(h)
-		}
-	}
-	a.C.StartHeartbeat(mesh, a.Cfg.HeartbeatInterval, a.Cfg.HeartbeatMisses)
+	a.installDeadHook()
+	// The heartbeat acts through the app's *current* controller each tick,
+	// so after a Rebind probing continues from the new master and a dead
+	// replica's stale connection cannot poison liveness state.
+	a.C.Eng.Every(a.Cfg.HeartbeatInterval, func() {
+		a.C.HeartbeatTick(mesh, a.Cfg.HeartbeatMisses)
+	})
 	return nil
 }
 
@@ -302,6 +331,9 @@ func (a *App) monitor() {
 // HandlePacketIn implements controller.App: classify the punt, resolve the
 // flow's true origin, and run the ingress-differentiation admission logic.
 func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn, pkt *packet.Packet) bool {
+	if a.owns != nil && !a.owns(sw.DPID) {
+		return false
+	}
 	if pkt == nil {
 		return false
 	}
@@ -426,12 +458,16 @@ func (a *App) admitPhysical(r *flowReq) {
 	}
 	for _, hop := range hops[1:] {
 		hop := hop
-		h := a.C.Switch(hop.DPID)
-		if h == nil {
+		if a.C.Switch(hop.DPID) == nil {
 			continue
 		}
+		// Resolve the handle at service time: if the switch migrates to
+		// another replica while this install is queued, the rule must go
+		// out on the new master's connection.
 		a.sched(hop.DPID).SubmitAdmitted(func() {
-			h.InstallFlow(a.redRuleFor(match, hop))
+			if h := a.C.Switch(hop.DPID); h != nil {
+				h.InstallFlow(a.redRuleFor(match, hop))
+			}
 		})
 	}
 	a.C.FlowDB.Put(&controller.FlowInfo{
@@ -609,6 +645,10 @@ func (a *App) withdraw(dpid uint64) {
 		}
 		fi := fi
 		sched.SubmitAdmitted(func() {
+			h := a.C.Switch(dpid)
+			if h == nil {
+				return
+			}
 			acts := make([]openflow.Action, 0, 2)
 			if a.Cfg.TunnelType == device.TunnelGRE {
 				acts = append(acts, openflow.SetTunnelAction(uint64(fi.IngressPort)))
