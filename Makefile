@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench bench-report clean
+.PHONY: all build test short race vet bench bench-report bench-short trace-sample cover clean
 
 all: build test
 
@@ -32,5 +32,21 @@ bench:
 bench-report:
 	$(GO) run ./cmd/scotchsim bench -out BENCH_scotch.json
 
+# CI-sized bench report: the fastest experiments only, same JSON schema.
+bench-short:
+	$(GO) run ./cmd/scotchsim bench -out BENCH_scotch.json fig14 fig4 table1 cluster-scale
+
+# Sample control-path trace (Chrome trace-event JSON, loadable in
+# chrome://tracing / Perfetto).
+trace-sample:
+	$(GO) run ./cmd/scotchsim run fig14 -trace trace_fig14.json
+
+# Coverage over the deterministic packages, with a per-function summary.
+cover:
+	$(GO) test -short -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+	@echo "full per-function breakdown: go tool cover -func=coverage.out"
+
 clean:
 	$(GO) clean ./...
+	rm -f coverage.out trace_fig14.json

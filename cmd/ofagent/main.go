@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	ofagent -addr 127.0.0.1:6633 -dpid 7 -inject 10
+//	ofagent -addr 127.0.0.1:6633 -dpid 7 -inject 10 [-telemetry-addr 127.0.0.1:9091]
+//
+// With -telemetry-addr set, Prometheus metrics are served on
+// /metrics and Go profiling on /debug/pprof/.
 package main
 
 import (
@@ -21,15 +24,27 @@ import (
 	"scotch/internal/netaddr"
 	"scotch/internal/ofnet"
 	"scotch/internal/packet"
+	"scotch/internal/telemetry"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6633", "controller address")
 	dpid := flag.Uint64("dpid", 1, "datapath id")
 	inject := flag.Int("inject", 0, "number of synthetic flows to inject after connecting")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	ls := ofnet.NewLiveSwitch(*dpid, 2)
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		ls.BindMetrics(reg)
+		tel, err := telemetry.StartServer(*telAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		defer tel.Close()
+		log.Printf("telemetry on http://%s/metrics", tel.Addr())
+	}
 	for port := uint32(1); port <= 4; port++ {
 		port := port
 		ls.RegisterPort(port, func(p *packet.Packet) {

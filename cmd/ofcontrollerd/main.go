@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	ofcontrollerd -addr 127.0.0.1:6633 -out 2
+//	ofcontrollerd -addr 127.0.0.1:6633 -out 2 [-telemetry-addr 127.0.0.1:9090]
+//
+// With -telemetry-addr set, Prometheus metrics are served on
+// /metrics and Go profiling on /debug/pprof/.
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"scotch/internal/ofnet"
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
+	"scotch/internal/telemetry"
 )
 
 type reactive struct {
@@ -71,6 +75,7 @@ func (r *reactive) PacketIn(sw *ofnet.SwitchConn, pin *openflow.PacketIn) {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6633", "listen address")
 	out := flag.Uint("out", 2, "output port for reactive rules")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	ctrl, err := ofnet.NewController(*addr, &reactive{out: uint32(*out)})
@@ -78,6 +83,17 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("ofcontrollerd listening on %s", ctrl.Addr())
+
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		ctrl.BindMetrics(reg)
+		tel, err := telemetry.StartServer(*telAddr, reg)
+		if err != nil {
+			log.Fatalf("telemetry: %v", err)
+		}
+		defer tel.Close()
+		log.Printf("telemetry on http://%s/metrics", tel.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

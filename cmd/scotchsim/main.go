@@ -4,13 +4,17 @@
 //
 //	scotchsim [-parallel N] list             list experiment ids
 //	scotchsim [-parallel N] run <id>...      run specific experiments (e.g. fig3 fig11)
+//	  run flags: -trace out.json             export control-path Chrome trace JSON
+//	             -stages                     print per-stage latency breakdown
 //	scotchsim [-parallel N] all              run every experiment
 //	scotchsim [-parallel N] bench [-out F]   measure the suite, write BENCH_scotch.json
 //
 // Experiments execute on a worker pool of -parallel workers (default:
 // runtime.NumCPU()). Each experiment owns a private deterministic engine,
 // so the concatenated output is byte-identical to a serial run regardless
-// of parallelism; only the per-experiment wall-time lines vary.
+// of parallelism; only the per-experiment wall-time lines vary. Tracing
+// (-trace / -stages) forces serial execution so collected traces line up
+// with output order; the experiments' own tables are byte-unchanged.
 package main
 
 import (
@@ -19,10 +23,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"scotch/internal/bench"
 	"scotch/internal/experiments"
+	"scotch/internal/telemetry"
 )
 
 func main() {
@@ -45,16 +51,80 @@ func main() {
 		}
 		runIDs(ids, *parallel)
 	case "run":
-		if flag.NArg() < 2 {
-			usage()
-			os.Exit(2)
-		}
-		runIDs(flag.Args()[1:], *parallel)
+		runCmd(flag.Args()[1:], *parallel)
 	case "bench":
 		benchCmd(flag.Args()[1:], *parallel)
 	default:
 		usage()
 		os.Exit(2)
+	}
+}
+
+// runCmd handles `scotchsim run [-trace F] [-stages] <id>...`; flags and
+// ids may be interleaved in any order.
+func runCmd(args []string, parallel int) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "write control-path Chrome trace-event JSON to this file")
+	stages := fs.Bool("stages", false, "print the per-stage control-path latency breakdown after the normal output")
+	// The flag package stops at the first non-flag argument; re-parse so
+	// `scotchsim run fig14 -stages` works as naturally as the reverse order.
+	var ids []string
+	for {
+		fs.Parse(args)
+		args = fs.Args()
+		if len(args) == 0 {
+			break
+		}
+		ids = append(ids, args[0])
+		args = args[1:]
+	}
+	if len(ids) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	tracing := *tracePath != "" || *stages
+	if tracing {
+		// One private tracer per rig, collected in build order; serial
+		// execution keeps that order aligned with the output order.
+		experiments.EnableTracing()
+		defer experiments.DisableTracing()
+		parallel = 1
+	}
+	runIDs(ids, parallel)
+	if !tracing {
+		return
+	}
+	traces := experiments.CollectedTraces()
+	if len(traces) == 0 {
+		fmt.Fprintln(os.Stderr, "note: the selected experiments built no traced rigs; nothing was recorded")
+		return
+	}
+	if *stages {
+		for _, nt := range traces {
+			fmt.Printf("control-path stages (%s):\n", nt.Name)
+			nt.Tracer.WriteStageSummary(os.Stdout)
+			fmt.Println()
+		}
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		werr := telemetry.WriteChromeTrace(f, traces...)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, "error:", werr)
+			os.Exit(1)
+		}
+		spans := 0
+		for _, nt := range traces {
+			spans += len(nt.Tracer.Spans())
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d traced runs, %d spans)\n", *tracePath, len(traces), spans)
 	}
 }
 
@@ -111,5 +181,7 @@ func describe(ids []string) string {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: scotchsim [-parallel N] list | all | run <id>... | bench [-out file] [id...]`)
+	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
+usage: scotchsim [-parallel N] list | all | run [-trace file] [-stages] <id>... | bench [-out file] [id...]
+`))
 }

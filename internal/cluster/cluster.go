@@ -14,9 +14,12 @@ import (
 	"sort"
 	"time"
 
+	"fmt"
+
 	"scotch/internal/controller"
 	"scotch/internal/openflow"
 	"scotch/internal/sim"
+	"scotch/internal/telemetry"
 )
 
 // PodApp is a controller application a pod carries between replicas. The
@@ -125,6 +128,10 @@ type Coordinator struct {
 	// OnMigrate, when set, fires as each pod handoff is initiated.
 	OnMigrate func(pod string, from, to int, failover bool)
 
+	// Trace, when set, records each handoff as an instant event in the
+	// control-path trace timeline.
+	Trace *telemetry.Tracer
+
 	pods     []*Pod
 	byName   map[string]*Pod
 	assign   map[string]int
@@ -139,6 +146,25 @@ func New(eng *sim.Engine, cfg Config) *Coordinator {
 		Cfg:    cfg,
 		byName: make(map[string]*Pod),
 		assign: make(map[string]int),
+	}
+}
+
+// BindMetrics registers the coordinator's per-replica load signals and
+// handoff counters with a telemetry registry.
+func (co *Coordinator) BindMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("scotch_cluster_migrations_total", func() uint64 { return co.Stats.Migrations })
+	reg.CounterFunc("scotch_cluster_failovers_total", func() uint64 { return co.Stats.Failovers })
+	reg.CounterFunc("scotch_cluster_replicas_lost_total", func() uint64 { return co.Stats.ReplicasLost })
+	for _, r := range co.Replicas {
+		r := r
+		lbl := telemetry.Labels("replica", fmt.Sprint(r.ID))
+		reg.GaugeFunc("scotch_cluster_replica_load"+lbl, func() float64 { return co.Load(r) })
+		reg.GaugeFunc("scotch_cluster_replica_alive"+lbl, func() float64 {
+			if r.Alive() {
+				return 1
+			}
+			return 0
+		})
 	}
 }
 
@@ -280,6 +306,13 @@ func (co *Coordinator) migrate(p *Pod, to *Replica, failover bool) {
 		co.Stats.Failovers++
 	} else {
 		co.Stats.Migrations++
+	}
+	if co.Trace != nil {
+		kind := "pod-migrate"
+		if failover {
+			kind = "failover"
+		}
+		co.Trace.Mark(fmt.Sprintf("%s %s %d->%d", kind, p.Name, fromID, to.ID), co.Eng.Now())
 	}
 	if co.OnMigrate != nil {
 		co.OnMigrate(p.Name, fromID, to.ID, failover)

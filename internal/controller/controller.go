@@ -14,6 +14,7 @@ import (
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
 	"scotch/internal/sim"
+	"scotch/internal/telemetry"
 	"scotch/internal/topo"
 )
 
@@ -100,6 +101,8 @@ type Controller struct {
 
 	// OnSwitchDead is invoked once when heartbeats to a switch are lost.
 	OnSwitchDead func(sw *SwitchHandle)
+
+	trace *telemetry.Tracer
 }
 
 // pinJob is one queued Packet-In awaiting controller CPU.
@@ -135,6 +138,25 @@ func (c *Controller) QueueDepth() int {
 		return 0
 	}
 	return c.pinSrv.QueueLen()
+}
+
+// SetTracer attaches a control-path tracer (nil disables tracing). Apps
+// reach it through Tracer() so controller-side hooks share one instance.
+func (c *Controller) SetTracer(t *telemetry.Tracer) { c.trace = t }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Controller) Tracer() *telemetry.Tracer { return c.trace }
+
+// BindMetrics registers the controller's live counters and load signals
+// with a telemetry registry.
+func (c *Controller) BindMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("scotch_controller_packet_ins_total", func() uint64 { return c.Stats.PacketIns })
+	reg.CounterFunc("scotch_controller_packet_ins_dropped_total", func() uint64 { return c.Stats.PacketInsDropped })
+	reg.CounterFunc("scotch_controller_flow_mods_sent_total", func() uint64 { return c.Stats.FlowModsSent })
+	reg.CounterFunc("scotch_controller_packet_outs_sent_total", func() uint64 { return c.Stats.PacketOutsSent })
+	reg.CounterFunc("scotch_controller_errors_received_total", func() uint64 { return c.Stats.ErrorsReceived })
+	reg.GaugeFunc("scotch_controller_queue_depth", func() float64 { return float64(c.QueueDepth()) })
+	reg.GaugeFunc("scotch_controller_packet_in_rate", func() float64 { return c.InRate.Rate(c.Eng.Now()) })
 }
 
 // Register adds an application. Registration order is consultation order.
@@ -306,6 +328,11 @@ func (c *Controller) receive(dpid uint64, raw []byte) {
 		c.Stats.PacketIns++
 		c.InRate.Add(now, 1)
 		h.PacketInRate.Add(now, 1)
+		if c.trace != nil {
+			if pkt, err := packet.Parse(m.Data); err == nil {
+				c.trace.Point(telemetry.PointCtrlRecv, pkt.FlowKey(), dpid, now)
+			}
+		}
 		if c.pinSrv != nil {
 			c.pinSrv.Submit(pinJob{h, m})
 		} else {
@@ -355,6 +382,9 @@ func (c *Controller) receive(dpid uint64, raw []byte) {
 // order; with SetCapacity this runs from the paced queue.
 func (c *Controller) dispatchPacketIn(j pinJob) {
 	pkt, _ := packet.Parse(j.m.Data)
+	if c.trace != nil && pkt != nil {
+		c.trace.Point(telemetry.PointDispatch, pkt.FlowKey(), j.h.DPID, c.Eng.Now())
+	}
 	for _, app := range c.apps {
 		if app.HandlePacketIn(j.h, j.m, pkt) {
 			break

@@ -10,6 +10,7 @@ import (
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
 	"scotch/internal/sim"
+	"scotch/internal/telemetry"
 )
 
 // SwitchStats counts a switch's activity.
@@ -61,6 +62,7 @@ type Switch struct {
 
 	xid    uint32
 	failed bool
+	trace  *telemetry.Tracer
 
 	Stats SwitchStats
 
@@ -154,6 +156,38 @@ func (sw *Switch) conn(id int) *ctrlConn {
 		}
 	}
 	return nil
+}
+
+// SetTracer attaches a control-path tracer (nil disables tracing). The
+// tracer must belong to this switch's engine; hooks run inline on the
+// event loop. The OFA's Packet-In queue is observed through the server's
+// sim-level trace hooks: submit marks the table miss entering the queue,
+// serve marks the Packet-In leaving for the controller.
+func (sw *Switch) SetTracer(t *telemetry.Tracer) {
+	sw.trace = t
+	if t == nil {
+		sw.pktInSrv.Trace(nil, nil)
+		return
+	}
+	sw.pktInSrv.Trace(
+		func(it dataItem, now sim.Time) {
+			t.Point(telemetry.PointMiss, it.pkt.FlowKey(), sw.DPID, now)
+		},
+		func(it dataItem, now sim.Time) {
+			t.Point(telemetry.PointPacketInEmit, it.pkt.FlowKey(), sw.DPID, now)
+		},
+	)
+}
+
+// BindMetrics registers this switch's live counters with a telemetry
+// registry under a dpid label. All series are evaluated at scrape time.
+func (sw *Switch) BindMetrics(reg *telemetry.Registry) {
+	lbl := telemetry.Labels("dpid", fmt.Sprint(sw.DPID))
+	reg.CounterFunc("scotch_switch_packet_in_sent_total"+lbl, func() uint64 { return sw.Stats.PacketInSent })
+	reg.CounterFunc("scotch_switch_packet_in_dropped_total"+lbl, func() uint64 { return sw.Stats.PacketInDropped })
+	reg.CounterFunc("scotch_switch_rules_installed_total"+lbl, func() uint64 { return sw.Stats.RulesInstalled })
+	reg.CounterFunc("scotch_switch_table_full_total"+lbl, func() uint64 { return sw.Stats.TableFull })
+	reg.GaugeFunc("scotch_switch_insert_backlog"+lbl, func() float64 { return float64(sw.InsertBacklog()) })
 }
 
 // Fail simulates a crash: the switch stops forwarding and stops answering
@@ -464,6 +498,11 @@ func (sw *Switch) processRule(v any) {
 				return
 			}
 			sw.Stats.RulesInstalled++
+			if sw.trace != nil {
+				if key, ok := telemetry.FlowKeyFromMatch(&m.Match); ok {
+					sw.trace.Point(telemetry.PointRuleApplied, key, sw.DPID, now)
+				}
+			}
 		case openflow.FlowDelete, openflow.FlowDeleteStrict:
 			removed := tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
 			sw.Stats.RulesDeleted += uint64(len(removed))

@@ -123,6 +123,19 @@ func newClusterRig(cc clusterRigConfig) *clusterRig {
 		r.co.AddPod(pod.name, pod.app, home, dpids...)
 	}
 	r.co.Start()
+	if tr := newRunTracer(); tr != nil {
+		r.co.Trace = tr
+		for _, rep := range r.replicas {
+			rep.C.SetTracer(tr)
+		}
+		for _, pod := range r.pods {
+			pod.edge.SetTracer(tr)
+			for _, vs := range pod.vs {
+				vs.SetTracer(tr)
+			}
+			traceDelivery(tr, pod.server)
+		}
+	}
 	return r
 }
 

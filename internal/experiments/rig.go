@@ -91,6 +91,16 @@ func newRig(rc rigConfig) *rig {
 	for _, srv := range r.servers {
 		r.cap.Attach(srv)
 	}
+	if tr := newRunTracer(); tr != nil {
+		r.c.SetTracer(tr)
+		edge.SetTracer(tr)
+		for _, vs := range r.vs {
+			vs.SetTracer(tr)
+		}
+		for _, srv := range r.servers {
+			traceDelivery(tr, srv)
+		}
+	}
 	return r
 }
 

@@ -81,6 +81,11 @@ func runFig4(w io.Writer) error {
 		c.ConnectAll()
 		cap := capture.New(eng)
 		cap.Attach(tb.Server)
+		if tr := newRunTracer(); tr != nil {
+			c.SetTracer(tr)
+			tb.Switch.SetTracer(tr)
+			traceDelivery(tr, tb.Server)
+		}
 		const dur = 10 * time.Second
 		cli := workload.StartClient(workload.NewEmitter(eng, tb.Client, cap), tb.Server.IP, r, 1, 0)
 		eng.RunUntil(dur)

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"scotch/internal/device"
+	"scotch/internal/packet"
+	"scotch/internal/sim"
+	"scotch/internal/telemetry"
+)
+
+// Control-path tracing is armed process-wide and attached to every rig
+// built afterward: each rig (one per simulation engine) gets a private
+// tracer, collected in build order. Tracing is intended for serial runs of
+// a single experiment; the determinism suite and the parallel runner keep
+// it off, so their byte-identical guarantees are verified untraced.
+var traceState struct {
+	sync.Mutex
+	enabled bool
+	n       int
+	traces  []telemetry.NamedTrace
+}
+
+// EnableTracing arms control-path tracing for rigs built from now on and
+// clears previously collected traces.
+func EnableTracing() {
+	traceState.Lock()
+	defer traceState.Unlock()
+	traceState.enabled = true
+	traceState.n = 0
+	traceState.traces = nil
+}
+
+// DisableTracing disarms tracing and drops collected traces.
+func DisableTracing() {
+	traceState.Lock()
+	defer traceState.Unlock()
+	traceState.enabled = false
+	traceState.n = 0
+	traceState.traces = nil
+}
+
+// CollectedTraces returns the tracers of every rig built since
+// EnableTracing, in build order ("run1", "run2", ...).
+func CollectedTraces() []telemetry.NamedTrace {
+	traceState.Lock()
+	defer traceState.Unlock()
+	return append([]telemetry.NamedTrace(nil), traceState.traces...)
+}
+
+// newRunTracer returns a fresh collected tracer, or nil when tracing is
+// off.
+func newRunTracer() *telemetry.Tracer {
+	traceState.Lock()
+	defer traceState.Unlock()
+	if !traceState.enabled {
+		return nil
+	}
+	traceState.n++
+	t := telemetry.NewTracer()
+	traceState.traces = append(traceState.traces, telemetry.NamedTrace{
+		Name:   fmt.Sprintf("run%d", traceState.n),
+		Tracer: t,
+	})
+	return t
+}
+
+// traceDelivery chains a first-packet-delivery trace point onto a host's
+// receive observer, preserving any existing observer (e.g. the capture
+// subsystem's).
+func traceDelivery(tr *telemetry.Tracer, h *device.Host) {
+	prev := h.OnReceive
+	h.OnReceive = func(pkt *packet.Packet, now sim.Time) {
+		tr.Point(telemetry.PointDelivered, pkt.FlowKey(), 0, now)
+		if prev != nil {
+			prev(pkt, now)
+		}
+	}
+}

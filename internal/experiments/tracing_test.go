@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"scotch/internal/telemetry"
+)
+
+// TestTracingDoesNotChangeOutput is the golden determinism check for the
+// observability layer: running an experiment with control-path tracing
+// armed must produce byte-identical output to the untraced run, and the
+// collected trace must cover the full control path (>= 5 distinct stages).
+func TestTracingDoesNotChangeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e, ok := ByID("fig14")
+	if !ok {
+		t.Fatal("fig14 not registered")
+	}
+
+	var clean bytes.Buffer
+	if err := e.Run(&clean); err != nil {
+		t.Fatal(err)
+	}
+
+	EnableTracing()
+	defer DisableTracing()
+	var traced bytes.Buffer
+	if err := e.Run(&traced); err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(clean.Bytes(), traced.Bytes()) {
+		t.Errorf("tracing changed experiment output:\n--- untraced ---\n%s\n--- traced ---\n%s",
+			clean.String(), traced.String())
+	}
+
+	traces := CollectedTraces()
+	if len(traces) == 0 {
+		t.Fatal("no traces collected")
+	}
+	stages := make(map[string]bool)
+	spans := 0
+	for _, nt := range traces {
+		for _, s := range nt.Tracer.Spans() {
+			stages[s.Stage] = true
+			spans++
+			if s.End < s.Start {
+				t.Fatalf("negative span %+v", s)
+			}
+		}
+	}
+	if spans == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	if len(stages) < 5 {
+		t.Fatalf("distinct stages = %d (%v), want >= 5", len(stages), stages)
+	}
+
+	// The export of the collected traces is valid Chrome trace JSON.
+	var buf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&buf, traces...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDisableTracingDropsState confirms rigs built after DisableTracing are
+// untraced and previously collected traces are gone.
+func TestDisableTracingDropsState(t *testing.T) {
+	EnableTracing()
+	if newRunTracer() == nil {
+		t.Fatal("armed tracer is nil")
+	}
+	DisableTracing()
+	if tr := newRunTracer(); tr != nil {
+		t.Fatal("disarmed tracing still returns tracers")
+	}
+	if traces := CollectedTraces(); len(traces) != 0 {
+		t.Fatalf("collected traces survive disable: %d", len(traces))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"scotch/internal/sim"
@@ -15,7 +16,12 @@ import (
 // RateMeter estimates an event rate over a sliding window using fixed-size
 // buckets. It is the controller's tool for monitoring per-switch Packet-In
 // rates (the paper's congestion signal).
+//
+// Writers live on the simulation event loop, but telemetry scrapes read
+// concurrently from an HTTP goroutine, so all methods lock; reads (Rate,
+// Total) never mutate meter state.
 type RateMeter struct {
+	mu      sync.Mutex
 	bucket  time.Duration
 	buckets []float64
 	base    int64 // index of buckets[0] in units of bucket since t=0
@@ -54,6 +60,8 @@ func (m *RateMeter) advance(now sim.Time) {
 
 // Add records n events at virtual time now.
 func (m *RateMeter) Add(now sim.Time, n float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	m.advance(now)
 	i := m.idx(now) - m.base
 	if i >= 0 && i < int64(len(m.buckets)) {
@@ -63,17 +71,30 @@ func (m *RateMeter) Add(now sim.Time, n float64) {
 }
 
 // Total returns the lifetime event count, independent of the window.
-func (m *RateMeter) Total() float64 { return m.total }
+func (m *RateMeter) Total() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
 
 // Rate returns the average event rate (events/second) over the window
-// ending at now.
+// ending at now. It does not advance the meter: only buckets inside the
+// window (bucket indices in (now-window, now]) are summed, which is
+// numerically identical to advancing first, so interleaving extra Rate
+// calls (e.g. telemetry scrapes) can never change subsequent readings.
 func (m *RateMeter) Rate(now sim.Time) float64 {
-	m.advance(now)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cur := m.idx(now)
+	n := int64(len(m.buckets))
 	var sum float64
-	for _, v := range m.buckets {
-		sum += v
+	for i, v := range m.buckets {
+		abs := m.base + int64(i)
+		if abs > cur-n && abs <= cur {
+			sum += v
+		}
 	}
-	window := m.bucket * time.Duration(len(m.buckets))
+	window := m.bucket * time.Duration(n)
 	return sum / window.Seconds()
 }
 
@@ -132,25 +153,37 @@ func (ts *TimeSeries) RatePoints() []Point {
 }
 
 // Histogram collects samples for quantile queries (latency distributions).
+// Reads sort a cached copy rather than the sample slice itself, so quantile
+// queries from a concurrent telemetry reader neither block writers for long
+// nor perturb insertion order.
 type Histogram struct {
+	mu      sync.Mutex
 	samples []float64
-	sorted  bool
+	sorted  []float64 // cached sorted copy; valid while len matches samples
 }
 
 // Add records one sample.
 func (h *Histogram) Add(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	h.samples = append(h.samples, v)
-	h.sorted = false
+	h.sorted = nil
 }
 
 // AddDuration records a duration sample in seconds.
 func (h *Histogram) AddDuration(d time.Duration) { h.Add(d.Seconds()) }
 
 // Count returns the number of samples.
-func (h *Histogram) Count() int { return len(h.samples) }
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
 
 // Mean returns the sample mean, or 0 with no samples.
 func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if len(h.samples) == 0 {
 		return 0
 	}
@@ -163,26 +196,53 @@ func (h *Histogram) Mean() float64 {
 
 // Quantile returns the q-quantile (0 <= q <= 1), or 0 with no samples.
 func (h *Histogram) Quantile(q float64) float64 {
-	if len(h.samples) == 0 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return quantileSorted(h.sortedLocked(), q)
+}
+
+// Snapshot returns an immutable sorted view of the samples for repeated
+// quantile queries without re-locking per call.
+func (h *Histogram) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot(h.sortedLocked())
+}
+
+func (h *Histogram) sortedLocked() []float64 {
+	if h.sorted == nil || len(h.sorted) != len(h.samples) {
+		h.sorted = append([]float64(nil), h.samples...)
+		sort.Float64s(h.sorted)
+	}
+	return h.sorted
+}
+
+// Snapshot is a sorted, point-in-time copy of a histogram's samples.
+type Snapshot []float64
+
+// Count returns the number of samples in the snapshot.
+func (s Snapshot) Count() int { return len(s) }
+
+// Quantile returns the q-quantile of the snapshot.
+func (s Snapshot) Quantile(q float64) float64 { return quantileSorted(s, q) }
+
+func quantileSorted(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
 		return 0
 	}
-	if !h.sorted {
-		sort.Float64s(h.samples)
-		h.sorted = true
-	}
 	if q <= 0 {
-		return h.samples[0]
+		return samples[0]
 	}
 	if q >= 1 {
-		return h.samples[len(h.samples)-1]
+		return samples[len(samples)-1]
 	}
-	pos := q * float64(len(h.samples)-1)
+	pos := q * float64(len(samples)-1)
 	i := int(pos)
 	frac := pos - float64(i)
-	if i+1 >= len(h.samples) {
-		return h.samples[i]
+	if i+1 >= len(samples) {
+		return samples[i]
 	}
-	return h.samples[i]*(1-frac) + h.samples[i+1]*frac
+	return samples[i]*(1-frac) + samples[i+1]*frac
 }
 
 // String summarizes the distribution.

@@ -2,6 +2,7 @@ package ofnet
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
 	"scotch/internal/sim"
+	"scotch/internal/telemetry"
 )
 
 // LiveSwitch is a wall-clock software OpenFlow switch: the same flow-table
@@ -53,6 +55,17 @@ func NewLiveSwitch(dpid uint64, tables int) *LiveSwitch {
 		start:    time.Now(),
 		conns:    make(map[*Conn]*connRole),
 	}
+}
+
+// BindMetrics registers the switch's data-plane and control counters with
+// a telemetry registry under a dpid label.
+func (ls *LiveSwitch) BindMetrics(reg *telemetry.Registry) {
+	lbl := telemetry.Labels("dpid", fmt.Sprint(ls.DPID))
+	reg.CounterFunc("scotch_agent_forwarded_total"+lbl, ls.Forwarded.Load)
+	reg.CounterFunc("scotch_agent_misses_total"+lbl, ls.Misses.Load)
+	reg.CounterFunc("scotch_agent_rules_installed_total"+lbl, ls.Installed.Load)
+	reg.CounterFunc("scotch_agent_slave_denied_total"+lbl, ls.SlaveDenied.Load)
+	reg.GaugeFunc("scotch_agent_rule_count"+lbl, func() float64 { return float64(ls.RuleCount()) })
 }
 
 // RegisterPort wires an output port to a delivery function.

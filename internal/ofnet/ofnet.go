@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"scotch/internal/openflow"
+	"scotch/internal/telemetry"
 )
 
 // Conn is a framed, write-locked OpenFlow connection.
@@ -24,6 +25,10 @@ type Conn struct {
 	wmu  sync.Mutex
 	xid  atomic.Uint32
 	once sync.Once
+
+	// errCounter, when set, is shared with the owning endpoint and counts
+	// failed writes across all of its connections.
+	errCounter *atomic.Uint64
 }
 
 // NewConn wraps a net.Conn.
@@ -45,6 +50,9 @@ func (c *Conn) SendXID(m openflow.Message, xid uint32) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	_, err = c.c.Write(b)
+	if err != nil && c.errCounter != nil {
+		c.errCounter.Add(1)
+	}
 	return err
 }
 
@@ -138,6 +146,27 @@ type Controller struct {
 
 	// EchoInterval sets the keepalive period (default 5s).
 	EchoInterval time.Duration
+
+	// Connection and message counters, updated by the per-switch read
+	// loops and readable from any goroutine.
+	ConnsAccepted atomic.Uint64
+	MsgsReceived  atomic.Uint64
+	PacketInsRecv atomic.Uint64
+	WriteErrors   atomic.Uint64
+}
+
+// BindMetrics registers the listener's connection and message counters
+// with a telemetry registry.
+func (c *Controller) BindMetrics(reg *telemetry.Registry) {
+	reg.GaugeFunc("scotch_ofnet_switches_connected", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.switches))
+	})
+	reg.CounterFunc("scotch_ofnet_conns_accepted_total", c.ConnsAccepted.Load)
+	reg.CounterFunc("scotch_ofnet_messages_received_total", c.MsgsReceived.Load)
+	reg.CounterFunc("scotch_ofnet_packet_ins_total", c.PacketInsRecv.Load)
+	reg.CounterFunc("scotch_ofnet_write_errors_total", c.WriteErrors.Load)
 }
 
 // NewController listens on addr ("127.0.0.1:0" for an ephemeral port).
@@ -201,8 +230,11 @@ func (c *Controller) acceptLoop() {
 		if err != nil {
 			return
 		}
+		c.ConnsAccepted.Add(1)
+		conn := NewConn(nc)
+		conn.errCounter = &c.WriteErrors
 		c.wg.Add(1)
-		go c.serveSwitch(NewConn(nc))
+		go c.serveSwitch(conn)
 	}
 }
 
@@ -239,6 +271,7 @@ func (c *Controller) serveSwitch(conn *Conn) {
 		if err != nil {
 			return
 		}
+		c.MsgsReceived.Add(1)
 		switch m := msg.(type) {
 		case *openflow.PacketIn:
 			// The switch already withholds Packet-Ins from slave
@@ -249,6 +282,7 @@ func (c *Controller) serveSwitch(conn *Conn) {
 				continue
 			}
 			sw.PacketIns.Add(1)
+			c.PacketInsRecv.Add(1)
 			c.handler.PacketIn(sw, m)
 		case *openflow.EchoRequest:
 			if err := conn.SendXID(&openflow.EchoReply{Data: m.Data}, xid); err != nil {

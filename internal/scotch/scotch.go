@@ -26,6 +26,7 @@ import (
 	"scotch/internal/netaddr"
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
+	"scotch/internal/telemetry"
 	"scotch/internal/topo"
 )
 
@@ -189,6 +190,27 @@ func New(c *controller.Controller, cfg Config) *App {
 
 // Name implements controller.App.
 func (a *App) Name() string { return "scotch" }
+
+// BindMetrics registers the app's decision counters and paced-install
+// backlog with a telemetry registry.
+func (a *App) BindMetrics(reg *telemetry.Registry) {
+	reg.CounterFunc("scotch_app_requests_total", func() uint64 { return a.Stats.Requests })
+	reg.CounterFunc("scotch_app_overlay_routed_total", func() uint64 { return a.Stats.OverlayRouted })
+	reg.CounterFunc("scotch_app_dropped_total", func() uint64 { return a.Stats.Dropped })
+	reg.CounterFunc("scotch_app_activations_total", func() uint64 { return a.Stats.Activations })
+	reg.CounterFunc("scotch_app_withdrawals_total", func() uint64 { return a.Stats.Withdrawals })
+	reg.CounterFunc("scotch_app_migrated_total", func() uint64 { return a.Stats.Migrated })
+	reg.GaugeFunc("scotch_app_install_backlog", func() float64 {
+		total := 0
+		for _, s := range a.physSched {
+			total += s.TotalBacklog()
+		}
+		for _, s := range a.ovlSched {
+			total += s.TotalBacklog()
+		}
+		return float64(total)
+	})
+}
 
 // SetOwner restricts the app to punts from switches fn claims; punts from
 // other switches are declined so another app (or shard) can take them.
@@ -362,10 +384,14 @@ func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn
 		st.reqRate.Add(a.C.Eng.Now(), 1)
 	}
 
+	tr := a.C.Tracer()
 	if fi := a.C.FlowDB.Lookup(key); fi != nil {
 		// Duplicate punt for a flow already being set up: re-forward the
 		// packet along the flow's chosen path without new state.
 		a.Stats.DuplicatePunts++
+		if tr != nil {
+			tr.PointTag(telemetry.PointClassified, key, origin, a.C.Eng.Now(), "dup")
+		}
 		a.reforward(punter, fi, pin)
 		return true
 	}
@@ -385,9 +411,18 @@ func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn
 		// Beyond the dropping threshold neither the physical network nor
 		// the overlay can absorb the group's arrival rate (paper §5.2).
 		a.Stats.Dropped++
+		if tr != nil {
+			tr.PointTag(telemetry.PointClassified, key, origin, a.C.Eng.Now(), "drop")
+		}
 	case backlog >= a.Cfg.OverlayThreshold && a.canOverlay(req):
+		if tr != nil {
+			tr.PointTag(telemetry.PointClassified, key, origin, a.C.Eng.Now(), "overlay")
+		}
 		ovl.SubmitIngress(group, req)
 	default:
+		if tr != nil {
+			tr.PointTag(telemetry.PointClassified, key, origin, a.C.Eng.Now(), "physical")
+		}
 		phys.SubmitIngress(group, req)
 	}
 	return true
@@ -451,6 +486,9 @@ func (a *App) admitPhysical(r *flowReq) {
 		}
 	}
 	a.Stats.PhysicalAdmitted++
+	if tr := a.C.Tracer(); tr != nil {
+		tr.PointTag(telemetry.PointInstall, r.key, r.origin, a.C.Eng.Now(), "physical")
+	}
 	match := exactMatch(r.key)
 	first := hops[0]
 	if h := a.C.Switch(first.DPID); h != nil {
@@ -506,6 +544,9 @@ func (a *App) admitOverlay(r *flowReq) {
 		return
 	}
 	a.Stats.OverlayRouted++
+	if tr := a.C.Tracer(); tr != nil {
+		tr.PointTag(telemetry.PointInstall, r.key, r.origin, a.C.Eng.Now(), "overlay")
+	}
 	match := exactMatch(r.key)
 
 	// Per-flow vSwitch hops; a policy chain detours through its

@@ -73,6 +73,11 @@ type Server[T any] struct {
 	process func(v T)
 	onDrop  func(v T)
 	stats   ServerStats
+
+	// Observation hooks (Trace). Nil when unobserved: the nil checks on
+	// the submit/serve paths are the entire disabled-tracing cost.
+	onSubmit func(v T, now Time)
+	onServe  func(v T, now Time)
 }
 
 // NewServer returns a server processing items at rate items/second with a
@@ -93,6 +98,15 @@ func NewServer[T any](eng *Engine, rate float64, queueCap int, process func(v T)
 // OnDrop registers a callback invoked with each item dropped due to queue
 // overflow.
 func (s *Server[T]) OnDrop(fn func(v T)) { s.onDrop = fn }
+
+// Trace registers observation hooks: onSubmit fires as an item is offered
+// (whether or not it is then dropped), onServe as its service completes,
+// each with the virtual time of the instant. Either may be nil; passing
+// both nil disables observation. Hooks must not mutate the server.
+func (s *Server[T]) Trace(onSubmit, onServe func(v T, now Time)) {
+	s.onSubmit = onSubmit
+	s.onServe = onServe
+}
 
 // SetRate changes the service rate for items entering service from now on.
 func (s *Server[T]) SetRate(rate float64) {
@@ -118,6 +132,9 @@ func (s *Server[T]) Stats() ServerStats { return s.stats }
 // if the queue is full.
 func (s *Server[T]) Submit(v T) bool {
 	s.stats.Submitted++
+	if s.onSubmit != nil {
+		s.onSubmit(v, s.eng.Now())
+	}
 	if !s.busy {
 		s.serve(v)
 		return true
@@ -145,6 +162,9 @@ func (s *Server[T]) completeService() {
 	var zero T
 	s.current = zero // don't retain served items
 	s.stats.Served++
+	if s.onServe != nil {
+		s.onServe(v, s.eng.Now())
+	}
 	s.process(v)
 	if len(s.queue) > 0 {
 		next := s.queue[0]
