@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet bench bench-report bench-short trace-sample cover clean
+.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos cover clean
 
 all: build test
 
@@ -22,6 +22,20 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation gate: every internal package needs a package comment, and
+# the scotch/cluster/fault packages need docs on every exported symbol.
+doclint:
+	$(GO) run ./cmd/doclint
+
+# The chaos experiments: §5 reliability mechanisms under injected faults.
+chaos:
+	$(GO) run ./cmd/scotchsim run chaos-vswitch chaos-partition chaos-churn
+
+# Chaos trace artifact: fault marks and control-path spans for the two
+# fast chaos experiments (Chrome trace-event JSON).
+trace-chaos:
+	$(GO) run ./cmd/scotchsim run chaos-partition chaos-churn -trace trace_chaos.json
 
 # Micro + macro benchmarks with allocation counts.
 bench:
@@ -49,4 +63,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out trace_fig14.json
+	rm -f coverage.out trace_fig14.json trace_chaos.json

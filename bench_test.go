@@ -137,3 +137,15 @@ func BenchmarkAblationPriorityScheduler(b *testing.B) {
 func BenchmarkAblationWithdrawal(b *testing.B) {
 	benchExperiment(b, "ablation-withdrawal")
 }
+
+// BenchmarkChaosVSwitch regenerates the mesh-vSwitch crash experiment:
+// backup promotion under a sustained attack.
+func BenchmarkChaosVSwitch(b *testing.B) { benchExperiment(b, "chaos-vswitch") }
+
+// BenchmarkChaosPartition regenerates the controller partition/heal
+// experiment: failover detection plus stale-master fencing.
+func BenchmarkChaosPartition(b *testing.B) { benchExperiment(b, "chaos-partition") }
+
+// BenchmarkChaosChurn regenerates the link-flap churn experiment:
+// overlay deploy/withdraw cycling under §5.5 withdrawal.
+func BenchmarkChaosChurn(b *testing.B) { benchExperiment(b, "chaos-churn") }

@@ -1,0 +1,182 @@
+// Command doclint enforces the repository's documentation floor: every
+// package under internal/ must carry a package comment, and in the
+// packages listed in strictPkgs every exported top-level declaration —
+// types, functions, methods on exported receivers, consts and vars —
+// must have a doc comment. A const/var block's doc comment covers all of
+// its specs.
+//
+// Usage:
+//
+//	go run ./cmd/doclint [root]
+//
+// root defaults to ".". Exits nonzero listing each violation as
+// file:line: message, so it slots into make/CI like a vet pass.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// strictPkgs are the directories (relative to the repo root) whose
+// exported surface must be fully documented, not just present.
+var strictPkgs = map[string]bool{
+	"internal/scotch":  true,
+	"internal/cluster": true,
+	"internal/fault":   true,
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var dirs []string
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(2)
+	}
+	sort.Strings(dirs)
+
+	var violations []string
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		rel = filepath.ToSlash(rel)
+		violations = append(violations, lintDir(dir, rel, strictPkgs[rel])...)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Println(v)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+}
+
+// lintDir checks one package directory. Test files never count: a
+// package comment must live in shipping code, and test helpers are free
+// to be terse.
+func lintDir(dir, rel string, strict bool) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", rel, err)}
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		if !hasPackageComment(pkg) {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", rel, pkg.Name))
+		}
+		if !strict {
+			continue
+		}
+		files := make([]string, 0, len(pkg.Files))
+		for name := range pkg.Files {
+			files = append(files, name)
+		}
+		sort.Strings(files)
+		for _, name := range files {
+			out = append(out, lintFile(fset, pkg.Files[name])...)
+		}
+	}
+	return out
+}
+
+func hasPackageComment(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && len(strings.TrimSpace(f.Doc.Text())) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// lintFile reports every exported, undocumented top-level declaration in
+// one file.
+func lintFile(fset *token.FileSet, f *ast.File) []string {
+	var out []string
+	report := func(pos token.Pos, what, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment",
+			filepath.ToSlash(p.Filename), p.Line, what, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			if d.Recv != nil {
+				recv, exported := receiverName(d.Recv)
+				if !exported {
+					continue
+				}
+				report(d.Pos(), "method", recv+"."+d.Name.Name)
+			} else {
+				report(d.Pos(), "function", d.Name.Name)
+			}
+		case *ast.GenDecl:
+			if d.Tok == token.IMPORT {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+						report(s.Pos(), "type", s.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// The block's doc comment covers every spec in it;
+					// a spec-level doc or trailing line comment also counts.
+					if d.Doc != nil || s.Doc != nil || s.Comment != nil {
+						continue
+					}
+					for _, n := range s.Names {
+						if n.IsExported() {
+							report(n.Pos(), d.Tok.String(), n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverName extracts the receiver's base type name and whether it is
+// exported; methods on unexported types are not part of the API surface.
+func receiverName(recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name, tt.IsExported()
+		default:
+			return "", false
+		}
+	}
+}

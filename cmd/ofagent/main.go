@@ -4,9 +4,17 @@
 // data plane so the reactive path (Packet-In, Flow-Mod, Packet-Out) can be
 // observed end to end.
 //
+// The agent keeps itself connected: when the controller connection drops
+// it reconnects with exponential backoff and jitter (100ms doubling to
+// 30s), resetting the schedule once a connection proves stable. With
+// -fallback-port set, table-miss packets that arrive while no controller
+// is reachable are forwarded out that port instead of being dropped —
+// the paper's default-rule degradation.
+//
 // Usage:
 //
-//	ofagent -addr 127.0.0.1:6633 -dpid 7 -inject 10 [-telemetry-addr 127.0.0.1:9091]
+//	ofagent -addr 127.0.0.1:6633 -dpid 7 -inject 10 \
+//	    [-fallback-port 2] [-telemetry-addr 127.0.0.1:9091]
 //
 // With -telemetry-addr set, Prometheus metrics are served on
 // /metrics and Go profiling on /debug/pprof/.
@@ -23,6 +31,7 @@ import (
 
 	"scotch/internal/netaddr"
 	"scotch/internal/ofnet"
+	"scotch/internal/openflow"
 	"scotch/internal/packet"
 	"scotch/internal/telemetry"
 )
@@ -31,10 +40,14 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:6633", "controller address")
 	dpid := flag.Uint64("dpid", 1, "datapath id")
 	inject := flag.Int("inject", 0, "number of synthetic flows to inject after connecting")
+	fallbackPort := flag.Uint("fallback-port", 0, "forward table misses out this port while the controller is unreachable (0 disables)")
 	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
 	flag.Parse()
 
 	ls := ofnet.NewLiveSwitch(*dpid, 2)
+	if *fallbackPort > 0 {
+		ls.SetDefaultActions(openflow.OutputAction(uint32(*fallbackPort)))
+	}
 	if *telAddr != "" {
 		reg := telemetry.NewRegistry()
 		ls.BindMetrics(reg)
@@ -54,7 +67,11 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
-	go func() { done <- ls.DialAndServe(ctx, *addr) }()
+	go func() {
+		done <- ls.DialAndServeRetry(ctx, *addr, nil, func(err error, next time.Duration) {
+			log.Printf("controller connection lost (%v); retrying in %v", err, next.Round(time.Millisecond))
+		})
+	}()
 	log.Printf("ofagent dpid=%#x connecting to %s", *dpid, *addr)
 
 	if *inject > 0 {

@@ -1,0 +1,7 @@
+// Package bench measures the experiment suite and writes a
+// machine-readable performance report (BENCH_scotch.json), so successive
+// PRs can track the perf trajectory: per-experiment wall time and
+// allocation cost, plus the wall-clock speedup of the parallel runner
+// over a serial run. This is repository infrastructure — it measures the
+// reproduction itself, not anything from the paper.
+package bench

@@ -1,7 +1,3 @@
-// Package bench measures the experiment suite and writes a machine-readable
-// performance report (BENCH_scotch.json), so successive PRs can track the
-// perf trajectory: per-experiment wall time and allocation cost, plus the
-// wall-clock speedup of the parallel runner over a serial run.
 package bench
 
 import (

@@ -1,8 +1,3 @@
-// Package capture is the simulator's tcpdump: it records per-flow send and
-// receive events at the hosts and computes the paper's measurement
-// quantities — most importantly the "client flow failure fraction", the
-// fraction of a traffic class's flows that never reach their destination
-// (paper §3.2).
 package capture
 
 import (

@@ -1,0 +1,6 @@
+// Package capture is the simulator's tcpdump: it records per-flow send
+// and receive events at the hosts and computes the paper's measurement
+// quantities — most importantly the "client flow failure fraction", the
+// fraction of a traffic class's flows that never reach their destination,
+// which is the y-axis of the paper's evaluation figures (§3.2, §6).
+package capture

@@ -1,13 +1,3 @@
-// Package cluster shards the SDN control plane across multiple controller
-// replicas, going beyond the paper's single-controller evaluation: §7
-// observes that Scotch "can be easily extended to support multiple
-// controllers" by partitioning switches among them. Each replica is a full
-// controller.Controller running the Scotch application over its shard; a
-// coordinator watches per-replica load (Packet-In rate plus queue depth)
-// and rebalances by migrating pods — OpenFlow 1.3 master/slave role
-// handoff with generation fencing, flow-state transfer, and in-flight
-// work draining through the new master — and recovers from replica death
-// via heartbeat-based failure detection.
 package cluster
 
 import (
@@ -101,6 +91,26 @@ func (r *Replica) Kill() {
 
 // Alive reports whether the coordinator still considers the replica up.
 func (r *Replica) Alive() bool { return !r.dead }
+
+// Partition cuts the replica off from every switch it manages: control
+// connections drop and heartbeats stop, exactly as Kill, but the process
+// survives and may later Heal. From the coordinator's perspective the two
+// are indistinguishable — that ambiguity is the point.
+func (r *Replica) Partition() {
+	r.killed = true
+	r.C.Disconnect()
+}
+
+// Heal ends a partition: the replica's control connections re-establish
+// with equal roles. The coordinator has long since declared the replica
+// dead and failed its pods over, and does not re-admit healed replicas;
+// Heal exists to prove the adversarial half of OF 1.3 §6.3 — a healed
+// ex-master that replays a stale generation id must be fenced to
+// read-only by the switches, not regain mastership.
+func (r *Replica) Heal() {
+	r.killed = false
+	r.C.Reconnect()
+}
 
 // Pod is the unit of migration: a set of switches (protected edges plus
 // their mesh vSwitches) and the application instance managing them.

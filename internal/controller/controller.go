@@ -1,8 +1,3 @@
-// Package controller implements the OpenFlow controller framework the
-// Scotch application runs on: switch connections, message dispatch to
-// applications, path setup, flow statistics collection, Packet-In rate
-// monitoring, and liveness tracking — the roles Ryu plays in the paper's
-// testbed.
 package controller
 
 import (
@@ -223,6 +218,30 @@ func (c *Controller) ConnectAll() {
 		if _, ok := c.switches[dpid]; !ok {
 			c.Connect(switches[dpid])
 		}
+	}
+}
+
+// Reconnect re-attaches every switch the controller already knows about
+// on a fresh connection (new connection id, equal role) and replays the
+// Hello/Features handshake, in DPID order. It models a partitioned
+// controller process whose TCP sessions re-establish after the partition
+// heals: roles start over at Equal, so an ex-master only regains write
+// access through a RoleRequest that survives the switches' generation
+// fencing. Heartbeat state is reset; the Dead flag is left as the
+// heartbeat layer set it, since liveness is the local view's concern.
+func (c *Controller) Reconnect() {
+	dpids := make([]uint64, 0, len(c.switches))
+	for dpid := range c.switches {
+		dpids = append(dpids, dpid)
+	}
+	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
+	for _, dpid := range dpids {
+		h := c.switches[dpid]
+		h.connID = h.Dev.AttachController(c.receive)
+		h.role = openflow.RoleEqual
+		h.echoPending = 0
+		h.send(&openflow.Hello{})
+		h.send(&openflow.FeaturesRequest{})
 	}
 }
 

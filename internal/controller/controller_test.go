@@ -205,3 +205,57 @@ func TestFlowInfoDB(t *testing.T) {
 		t.Fatal("delete ineffective")
 	}
 }
+
+// TestHeartbeatThresholdPrecision pins the death condition to the exact
+// tick: with misses=3 and a 100ms interval, a switch that stops answering
+// before the first probe survives ticks 1-3 (pending 1, 2, 3) and is
+// declared dead on the 4th, when the pending count first reaches the
+// threshold at tick start.
+func TestHeartbeatThresholdPrecision(t *testing.T) {
+	eng := sim.New(1)
+	tb := topo.NewTestbed(eng, fastProfile())
+	c := New(eng, tb.Net)
+	h := c.Connect(tb.Switch)
+
+	deaths := 0
+	c.OnSwitchDead = func(*SwitchHandle) { deaths++ }
+	c.StartHeartbeat([]uint64{tb.Switch.DPID}, 100*time.Millisecond, 3)
+
+	eng.At(50*time.Millisecond, tb.Switch.Fail)
+	// Tick 3 (300ms) sends the third unanswered probe but must not kill.
+	eng.RunUntil(350 * time.Millisecond)
+	if h.Dead() || deaths != 0 {
+		t.Fatalf("dead before the threshold tick (deaths=%d)", deaths)
+	}
+	// Tick 4 (400ms) starts with pending == misses: dead, exactly once.
+	eng.RunUntil(450 * time.Millisecond)
+	if !h.Dead() || deaths != 1 {
+		t.Fatalf("after threshold tick: dead=%v deaths=%d, want true/1", h.Dead(), deaths)
+	}
+}
+
+// TestHeartbeatRecoveryAtBrink is the other side of the threshold: the
+// switch restarts while the third probe is still in flight, answers it,
+// and the reset pending count saves it on what would have been the
+// declaring tick.
+func TestHeartbeatRecoveryAtBrink(t *testing.T) {
+	eng := sim.New(1)
+	tb := topo.NewTestbed(eng, fastProfile())
+	h := func() *SwitchHandle {
+		c := New(eng, tb.Net)
+		hh := c.Connect(tb.Switch)
+		c.OnSwitchDead = func(*SwitchHandle) { t.Error("recovered switch declared dead") }
+		c.StartHeartbeat([]uint64{tb.Switch.DPID}, 100*time.Millisecond, 3)
+		return hh
+	}()
+
+	eng.At(50*time.Millisecond, tb.Switch.Fail)
+	// Restart after tick 3 fired (300ms) but before its probe's 10µs
+	// control delay elapses: the recovered switch answers it, resetting
+	// the pending count just ahead of tick 4.
+	eng.At(300*time.Millisecond+5*time.Microsecond, tb.Switch.Restart)
+	eng.RunUntil(time.Second)
+	if h.Dead() {
+		t.Fatal("switch died despite answering the in-flight probe")
+	}
+}

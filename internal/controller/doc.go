@@ -1,0 +1,6 @@
+// Package controller implements the OpenFlow controller framework the
+// Scotch application runs on: switch connections, message dispatch to
+// applications, path setup, flow statistics collection, Packet-In rate
+// monitoring, and liveness tracking via ECHO heartbeats (§5.4) — the
+// roles Ryu plays in the paper's testbed (§6.1).
+package controller

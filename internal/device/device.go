@@ -1,13 +1,3 @@
-// Package device models the network elements of a Scotch deployment: SDN
-// switches (hardware and virtual) with rate-limited OpenFlow Agents, links,
-// MPLS/GRE tunnels, end hosts, and stateful middleboxes.
-//
-// The central fidelity point, taken from the paper's measurements, is that
-// a switch is *two* machines: a fast data plane (flow-table lookups at line
-// rate) and a slow control agent (the OFA) whose Packet-In generation and
-// rule-insertion rates are orders of magnitude lower. Both are modelled as
-// finite-queue servers on the simulation engine, with per-model constants
-// in profiles.go.
 package device
 
 import (
@@ -75,6 +65,7 @@ type Link struct {
 	cfg  LinkConfig
 
 	busyUntil [2]sim.Time
+	down      bool
 	Drops     uint64
 }
 
@@ -96,6 +87,14 @@ func Connect(eng *sim.Engine, a Node, aPort uint32, b Node, bPort uint32, cfg Li
 // Ports returns the link's two endpoints.
 func (l *Link) Ports() (*Port, *Port) { return l.a, l.b }
 
+// SetDown forces the link out of (or back into) service. While down,
+// every packet offered in either direction is counted in Drops and
+// discarded; packets already in flight still arrive.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is currently forced down.
+func (l *Link) Down() bool { return l.down }
+
 func (l *Link) dir(from *Port) int {
 	if from == l.a {
 		return 0
@@ -104,6 +103,10 @@ func (l *Link) dir(from *Port) int {
 }
 
 func (l *Link) transmit(pkt *packet.Packet, from *Port) {
+	if l.down {
+		l.Drops++
+		return
+	}
 	now := l.eng.Now()
 	d := l.dir(from)
 	start := l.busyUntil[d]

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"scotch/internal/fault"
 	"scotch/internal/flowtable"
 	"scotch/internal/metrics"
 	"scotch/internal/netaddr"
@@ -60,9 +61,10 @@ type Switch struct {
 	genID    uint64 // newest generation id seen in a master/slave claim
 	genSeen  bool
 
-	xid    uint32
-	failed bool
-	trace  *telemetry.Tracer
+	xid      uint32
+	failed   bool
+	trace    *telemetry.Tracer
+	chFaults *fault.ChannelFaults
 
 	Stats SwitchStats
 
@@ -198,6 +200,22 @@ func (sw *Switch) Fail() { sw.failed = true }
 // Failed reports whether Fail was called.
 func (sw *Switch) Failed() bool { return sw.failed }
 
+// Restart recovers a failed switch as a cold boot: forwarding and control
+// processing resume, but all dynamically installed flow and group state is
+// gone, as when a crashed vSwitch process comes back up. Controller
+// connections are kept — re-synchronizing state is the controller's job.
+func (sw *Switch) Restart() {
+	sw.failed = false
+	sw.Pipeline = flowtable.NewPipeline(sw.Profile.NumTables, sw.Profile.TableCapacity)
+}
+
+// SetChannelFaults attaches a message-level fault policy to every control
+// connection of this switch: each control-channel message (both
+// directions) may be dropped, duplicated, or delayed per the policy. Nil
+// (the default) disables injection at the cost of one nil check per
+// message.
+func (sw *Switch) SetChannelFaults(cf *fault.ChannelFaults) { sw.chFaults = cf }
+
 // Receive implements Node: a packet arrives on a data port.
 func (sw *Switch) Receive(pkt *packet.Packet, port *Port) {
 	if sw.failed {
@@ -325,7 +343,18 @@ func (sw *Switch) sendAsync(m openflow.Message) {
 			continue
 		}
 		send := c.send
-		sw.eng.Schedule(sw.Profile.CtrlDelay, func() { send(dpid, b) })
+		delay := sw.Profile.CtrlDelay
+		if sw.chFaults != nil {
+			v := sw.chFaults.Verdict()
+			if v.Drop {
+				continue
+			}
+			delay += v.Delay
+			if v.Duplicate {
+				sw.eng.Schedule(delay, func() { send(dpid, b) })
+			}
+		}
+		sw.eng.Schedule(delay, func() { send(dpid, b) })
 	}
 }
 
@@ -342,7 +371,18 @@ func (sw *Switch) sendToConnXID(connID int, m openflow.Message, xid uint32) {
 	}
 	send := c.send
 	dpid := sw.DPID
-	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { send(dpid, b) })
+	delay := sw.Profile.CtrlDelay
+	if sw.chFaults != nil {
+		v := sw.chFaults.Verdict()
+		if v.Drop {
+			return
+		}
+		delay += v.Delay
+		if v.Duplicate {
+			sw.eng.Schedule(delay, func() { send(dpid, b) })
+		}
+	}
+	sw.eng.Schedule(delay, func() { send(dpid, b) })
 }
 
 // DeliverControl accepts an encoded controller-to-switch message on the
@@ -353,7 +393,18 @@ func (sw *Switch) DeliverControl(b []byte) { sw.DeliverControlFrom(0, b) }
 // DeliverControlFrom accepts an encoded controller-to-switch message on a
 // specific connection.
 func (sw *Switch) DeliverControlFrom(connID int, b []byte) {
-	sw.eng.Schedule(sw.Profile.CtrlDelay, func() { sw.handleControl(connID, b) })
+	delay := sw.Profile.CtrlDelay
+	if sw.chFaults != nil {
+		v := sw.chFaults.Verdict()
+		if v.Drop {
+			return
+		}
+		delay += v.Delay
+		if v.Duplicate {
+			sw.eng.Schedule(delay, func() { sw.handleControl(connID, b) })
+		}
+	}
+	sw.eng.Schedule(delay, func() { sw.handleControl(connID, b) })
 }
 
 type barrierMarker struct {

@@ -49,6 +49,7 @@ type Tunnel struct {
 	a, b *Port
 
 	busyUntil [2]sim.Time
+	down      bool
 	Drops     uint64
 	Encapped  uint64
 	Decapped  uint64
@@ -72,6 +73,14 @@ func ConnectTunnel(eng *sim.Engine, a Node, aPort uint32, b Node, bPort uint32, 
 // Ports returns the tunnel's two endpoints (A side first).
 func (t *Tunnel) Ports() (*Port, *Port) { return t.a, t.b }
 
+// SetDown forces the tunnel out of (or back into) service, as when the
+// underlay path it rides is partitioned. While down, packets offered at
+// either endpoint are counted in Drops and discarded.
+func (t *Tunnel) SetDown(down bool) { t.down = down }
+
+// Down reports whether the tunnel is currently forced down.
+func (t *Tunnel) Down() bool { return t.down }
+
 func (t *Tunnel) dir(from *Port) int {
 	if from == t.a {
 		return 0
@@ -82,6 +91,10 @@ func (t *Tunnel) dir(from *Port) int {
 // transmit encapsulates and carries the packet to the far end, where it is
 // decapsulated before delivery.
 func (t *Tunnel) transmit(pkt *packet.Packet, from *Port, tunnelKey uint64) {
+	if t.down {
+		t.Drops++
+		return
+	}
 	switch t.Cfg.Type {
 	case TunnelMPLS:
 		// The inner (ingress port) label, if any, was pushed by the flow

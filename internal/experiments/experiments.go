@@ -1,9 +1,3 @@
-// Package experiments contains one runnable reproduction per table and
-// figure of the paper's evaluation, plus the ablations DESIGN.md calls
-// out. Each experiment builds its topology and workload on a fresh
-// simulation engine, runs for a fixed span of virtual time, and prints the
-// same rows/series the paper reports. EXPERIMENTS.md records paper-vs-
-// measured for each.
 package experiments
 
 import (

@@ -14,6 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-fanout", "ablation-elephant-threshold", "ablation-scheduler",
 		"ablation-fifo-scheduler", "ablation-withdrawal",
 		"cluster-scale", "cluster-migrate", "cluster-failover",
+		"chaos-vswitch", "chaos-partition", "chaos-churn",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

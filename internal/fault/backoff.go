@@ -1,0 +1,67 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff is an exponential backoff schedule with multiplicative jitter,
+// used by the live path (cmd/ofagent, internal/ofnet) to pace reconnect
+// attempts. It is pure arithmetic over an attempt counter — it never
+// reads a clock — so its full schedule is unit-testable without sleeping.
+type Backoff struct {
+	// Base is the first interval.
+	Base time.Duration
+	// Max caps the un-jittered interval.
+	Max time.Duration
+	// Factor multiplies the interval after each attempt (≥ 1).
+	Factor float64
+	// Jitter spreads each interval uniformly over
+	// [d·(1−Jitter), d·(1+Jitter)]; zero disables jitter.
+	Jitter float64
+
+	rng     *rand.Rand
+	attempt int
+}
+
+// NewBackoff returns a schedule with the conventional shape — doubling
+// from base up to max with ±20% jitter — drawing jitter from a private
+// generator seeded with seed.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	return &Backoff{
+		Base:   base,
+		Max:    max,
+		Factor: 2,
+		Jitter: 0.2,
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns the wait before the next attempt and advances the
+// schedule: Base·Factorⁿ capped at Max, then jittered.
+func (b *Backoff) Next() time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < b.attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	b.attempt++
+	if b.Jitter > 0 && b.rng != nil {
+		d *= 1 + b.Jitter*(2*b.rng.Float64()-1)
+	}
+	if max := float64(b.Max) * (1 + b.Jitter); d > max {
+		d = max
+	}
+	return time.Duration(d)
+}
+
+// Reset rewinds the schedule to Base, as after a connection that proved
+// stable.
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Attempts returns how many intervals have been handed out since the
+// last Reset.
+func (b *Backoff) Attempts() int { return b.attempt }

@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Verdict is the fate ChannelFaults assigns to one control-channel
+// message. The zero value lets the message through untouched.
+type Verdict struct {
+	// Drop discards the message entirely.
+	Drop bool
+	// Duplicate delivers the message twice.
+	Duplicate bool
+	// Delay is added on top of the channel's normal latency.
+	Delay time.Duration
+}
+
+// ChannelStats counts the faults a ChannelFaults policy has injected.
+type ChannelStats struct {
+	// Dropped counts messages discarded.
+	Dropped uint64
+	// Duplicated counts messages delivered twice.
+	Duplicated uint64
+	// Delayed counts messages given extra latency.
+	Delayed uint64
+}
+
+// ChannelFaults is a seeded message-level fault policy for a control
+// channel: each message independently risks being dropped, duplicated,
+// or delayed. Devices hold it as a pointer and skip the draw entirely
+// when the pointer is nil, so an unfaulted channel pays one nil check —
+// the same zero-cost discipline the tracing hooks use. The policy draws
+// from its own generator, never the engine's, so attaching it does not
+// perturb workload randomness.
+//
+// ChannelFaults is not safe for concurrent use; in the simulator every
+// draw happens on the single event-loop goroutine.
+type ChannelFaults struct {
+	// DropProb is the per-message probability of a drop.
+	DropProb float64
+	// DupProb is the per-message probability of a duplicate delivery.
+	DupProb float64
+	// DelayProb is the per-message probability of extra delay.
+	DelayProb float64
+	// MaxDelay bounds the extra delay; the draw is uniform in
+	// [0, MaxDelay).
+	MaxDelay time.Duration
+	// Stats accumulates what the policy has injected.
+	Stats ChannelStats
+
+	rng *rand.Rand
+}
+
+// NewChannelFaults returns a policy drawing from a private generator
+// seeded with seed. Configure the probability fields before use.
+func NewChannelFaults(seed int64) *ChannelFaults {
+	return &ChannelFaults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Verdict draws the fate of the next message. A nil receiver is an inert
+// policy and always returns the zero verdict.
+func (cf *ChannelFaults) Verdict() Verdict {
+	if cf == nil {
+		return Verdict{}
+	}
+	var v Verdict
+	if cf.DropProb > 0 && cf.rng.Float64() < cf.DropProb {
+		cf.Stats.Dropped++
+		v.Drop = true
+		return v
+	}
+	if cf.DupProb > 0 && cf.rng.Float64() < cf.DupProb {
+		cf.Stats.Duplicated++
+		v.Duplicate = true
+	}
+	if cf.DelayProb > 0 && cf.MaxDelay > 0 && cf.rng.Float64() < cf.DelayProb {
+		cf.Stats.Delayed++
+		v.Delay = time.Duration(cf.rng.Int63n(int64(cf.MaxDelay)))
+	}
+	return v
+}

@@ -1,0 +1,6 @@
+// Package flowtable implements the OpenFlow switch pipeline state: flow
+// tables with priority matching, masks, timeouts, counters and a capacity
+// limit (modelling finite TCAM), plus the group table with select
+// (flow-hash ECMP) semantics that Scotch uses to spread offloaded flows
+// across the vSwitch mesh (§4.1, §5.1).
+package flowtable

@@ -1,8 +1,3 @@
-// Package flowtable implements the OpenFlow switch pipeline state: flow
-// tables with priority matching, masks, timeouts, counters and a capacity
-// limit (modelling finite TCAM), plus the group table with select
-// (flow-hash ECMP) semantics that Scotch uses for load balancing across the
-// vSwitch mesh.
 package flowtable
 
 import (

@@ -1,6 +1,3 @@
-// Package metrics provides the measurement primitives the experiments use:
-// windowed rate meters, binned time series, and quantile histograms. All of
-// them are driven by the simulator's virtual clock.
 package metrics
 
 import (

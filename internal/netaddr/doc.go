@@ -1,0 +1,6 @@
+// Package netaddr provides compact address and flow-key types used across
+// the simulator: IPv4 addresses, MAC addresses, and transport 5-tuples
+// with fast non-cryptographic hashing (in the style of gopacket's
+// Flow/Endpoint). The flow-key hash is also what select groups use to
+// pick a bucket, mirroring the switch-side ECMP hash.
+package netaddr

@@ -1,6 +1,3 @@
-// Package netaddr provides compact address and flow-key types used across
-// the simulator: IPv4 addresses, MAC addresses, and transport 5-tuples with
-// fast non-cryptographic hashing (in the style of gopacket's Flow/Endpoint).
 package netaddr
 
 import (

@@ -1,0 +1,13 @@
+// Package ofnet runs the OpenFlow codec over real TCP connections: a
+// concurrent controller listener and a live (wall-clock, goroutine-based)
+// software switch agent. The simulator in the rest of the repository
+// exercises the same codec under virtual time; this package demonstrates
+// that the protocol layer is a genuine network implementation, not a
+// simulation artifact.
+//
+// The live path carries the same reliability mechanisms the simulated
+// path models from the paper's §5: the agent reconnects with exponential
+// backoff and jitter, falls back to operator-configured default actions
+// for table misses while no controller is reachable, and the controller
+// side offers barrier-confirmed rule installation with bounded retry.
+package ofnet

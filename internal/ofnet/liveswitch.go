@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scotch/internal/fault"
 	"scotch/internal/flowtable"
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
@@ -30,6 +31,12 @@ type LiveSwitch struct {
 	genID    uint64
 	genSeen  bool
 
+	// defaultActions, when non-nil, are executed for table-miss packets
+	// that have no live non-slave controller connection to punt to: the
+	// paper's default-rule fallback, keeping traffic flowing (degraded)
+	// while the controller is unreachable.
+	defaultActions []openflow.Action
+
 	// Stats. Atomics, not mu-guarded fields: the data plane (Inject, any
 	// goroutine) and the control loop (DialAndServe's goroutine) both
 	// update them, and monitors read them without stalling either.
@@ -38,6 +45,12 @@ type LiveSwitch struct {
 	Installed   atomic.Uint64
 	SlaveDenied atomic.Uint64
 	RoleStale   atomic.Uint64
+	// DefaultRouted counts misses handled by the default-action fallback
+	// while no controller was reachable.
+	DefaultRouted atomic.Uint64
+	// Reconnects counts completed DialAndServeRetry attempts that had to
+	// be retried (i.e. connection failures survived).
+	Reconnects atomic.Uint64
 }
 
 // connRole is the switch-side view of one controller connection's
@@ -77,6 +90,18 @@ func (ls *LiveSwitch) RegisterPort(id uint32, deliver func(*packet.Packet)) {
 
 func (ls *LiveSwitch) now() sim.Time { return time.Since(ls.start) }
 
+// SetDefaultActions installs the action list applied to table-miss
+// packets while the switch has no non-slave controller connection — the
+// paper's "default rule" degradation: keep forwarding on a preprovisioned
+// path rather than blackholing when the control plane is unreachable.
+// Pass no actions to disable the fallback (misses are then dropped while
+// disconnected, the OpenFlow default).
+func (ls *LiveSwitch) SetDefaultActions(actions ...openflow.Action) {
+	ls.mu.Lock()
+	defer ls.mu.Unlock()
+	ls.defaultActions = actions
+}
+
 // Inject offers a packet to the data plane on the given ingress port.
 // Misses are punted to every connected controller that has not taken
 // the slave role (OF 1.3 §6.3: slaves receive no async messages).
@@ -95,6 +120,7 @@ func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 		ls.Forwarded.Add(1)
 	}
 	actions := res.Actions
+	fallback := ls.defaultActions
 	ls.mu.Unlock()
 
 	if res.Miss {
@@ -111,6 +137,13 @@ func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 				// dropped; its DialAndServe read loop surfaces it.
 				conn.Send(pin)
 			}
+			return
+		}
+		if fallback != nil {
+			// Controller unreachable: degrade to the default rule instead
+			// of blackholing the flow.
+			ls.DefaultRouted.Add(1)
+			ls.executeActions(pkt, inPort, fallback, 0)
 		}
 		return
 	}
@@ -194,6 +227,43 @@ func (ls *LiveSwitch) DialAndServe(ctx context.Context, addr string) error {
 		}
 		if err := ls.handle(conn, msg, xid); err != nil {
 			return err
+		}
+	}
+}
+
+// connStableAfter is how long a connection must survive before the next
+// failure restarts the backoff schedule from its base interval.
+const connStableAfter = 10 * time.Second
+
+// DialAndServeRetry runs DialAndServe in a loop, reconnecting after each
+// failure with exponential backoff and jitter from bo (a conventional
+// 100ms→30s schedule when nil). A connection that stays up for at least
+// connStableAfter resets the schedule, so a controller that crash-loops
+// hourly is not punished for last month's outage. notify, when non-nil,
+// observes each failure and the wait before the next attempt. Returns
+// only when the context is canceled.
+func (ls *LiveSwitch) DialAndServeRetry(ctx context.Context, addr string, bo *fault.Backoff, notify func(err error, next time.Duration)) error {
+	if bo == nil {
+		bo = fault.NewBackoff(100*time.Millisecond, 30*time.Second, time.Now().UnixNano())
+	}
+	for {
+		started := time.Now()
+		err := ls.DialAndServe(ctx, addr)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if time.Since(started) >= connStableAfter {
+			bo.Reset()
+		}
+		ls.Reconnects.Add(1)
+		wait := bo.Next()
+		if notify != nil {
+			notify(err, wait)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(wait):
 		}
 	}
 }

@@ -1,9 +1,3 @@
-// Package ofnet runs the OpenFlow codec over real TCP connections: a
-// concurrent controller listener and a live (wall-clock, goroutine-based)
-// software switch agent. The simulator in the rest of the repository
-// exercises the same codec under virtual time; this package demonstrates
-// that the protocol layer is a genuine network implementation, not a
-// simulation artifact.
 package ofnet
 
 import (
@@ -56,6 +50,10 @@ func (c *Conn) SendXID(m openflow.Message, xid uint32) error {
 	return err
 }
 
+// NextXID reserves and returns a fresh transaction id, letting callers
+// register reply routing before the request hits the wire.
+func (c *Conn) NextXID() uint32 { return c.xid.Add(1) }
+
 // Recv reads one framed message.
 func (c *Conn) Recv() (openflow.Message, uint32, error) {
 	return openflow.ReadMessage(c.c)
@@ -80,13 +78,89 @@ type SwitchConn struct {
 	lastEcho atomic.Int64  // unix nanos of the last echo reply
 	role     atomic.Uint32 // last role confirmed by a RoleReply
 
+	bmu      sync.Mutex
+	barriers map[uint32]chan struct{}
+
 	PacketIns       atomic.Uint64
 	SlaveSuppressed atomic.Uint64
+	// InstallRetries counts FlowMod+Barrier pairs that had to be resent
+	// because the barrier reply did not arrive in time.
+	InstallRetries atomic.Uint64
 }
+
+// ErrBarrierTimeout is returned by Barrier and InstallReliable when the
+// switch does not acknowledge the barrier within the deadline.
+var ErrBarrierTimeout = errors.New("ofnet: barrier reply timeout")
 
 // Install sends a FlowMod to the switch.
 func (s *SwitchConn) Install(fm *openflow.FlowMod) error {
 	_, err := s.conn.Send(fm)
+	return err
+}
+
+// Barrier sends a BarrierRequest and blocks until the matching
+// BarrierReply arrives on the read loop, confirming every earlier message
+// on this connection has been processed (OF 1.3 §6.2). Returns
+// ErrBarrierTimeout when no reply lands within timeout.
+func (s *SwitchConn) Barrier(timeout time.Duration) error {
+	xid := s.conn.NextXID()
+	ch := make(chan struct{})
+	s.bmu.Lock()
+	if s.barriers == nil {
+		s.barriers = make(map[uint32]chan struct{})
+	}
+	s.barriers[xid] = ch
+	s.bmu.Unlock()
+	if err := s.conn.SendXID(&openflow.BarrierRequest{}, xid); err != nil {
+		s.dropBarrier(xid)
+		return err
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case <-ch:
+		return nil
+	case <-t.C:
+		s.dropBarrier(xid)
+		return ErrBarrierTimeout
+	}
+}
+
+func (s *SwitchConn) dropBarrier(xid uint32) {
+	s.bmu.Lock()
+	delete(s.barriers, xid)
+	s.bmu.Unlock()
+}
+
+// barrierDone releases the waiter for xid, if any. Called by the read loop.
+func (s *SwitchConn) barrierDone(xid uint32) {
+	s.bmu.Lock()
+	ch := s.barriers[xid]
+	delete(s.barriers, xid)
+	s.bmu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// InstallReliable sends a FlowMod and confirms it with a barrier,
+// resending the pair when the barrier times out — the retry discipline a
+// faulty control channel (message loss, a switch mid-restart) demands.
+// retries is the number of additional attempts after the first; the last
+// barrier error is returned when all attempts fail.
+func (s *SwitchConn) InstallReliable(fm *openflow.FlowMod, timeout time.Duration, retries int) error {
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			s.InstallRetries.Add(1)
+		}
+		if err = s.Install(fm); err != nil {
+			continue
+		}
+		if err = s.Barrier(timeout); err == nil {
+			return nil
+		}
+	}
 	return err
 }
 
@@ -292,7 +366,9 @@ func (c *Controller) serveSwitch(conn *Conn) {
 			sw.lastEcho.Store(time.Now().UnixNano())
 		case *openflow.RoleReply:
 			sw.role.Store(m.Role)
-		case *openflow.Error, *openflow.FlowRemoved, *openflow.MultipartReply, *openflow.BarrierReply:
+		case *openflow.BarrierReply:
+			sw.barrierDone(xid)
+		case *openflow.Error, *openflow.FlowRemoved, *openflow.MultipartReply:
 			// Accepted silently; extend Handler as needed.
 		}
 	}

@@ -1,0 +1,12 @@
+// Package openflow implements the subset of the OpenFlow 1.3 wire
+// protocol that Scotch requires: the handshake (Hello/Features),
+// keepalive (Echo, which §5.4 uses for vSwitch liveness), reactive
+// forwarding (Packet-In/Packet-Out/Flow-Mod/Flow-Removed), select groups
+// (Group-Mod) for load balancing across the vSwitch mesh (§5.1),
+// master/slave roles with generation-ID fencing (OF 1.3 §6.3), and flow
+// statistics (Multipart) for elephant-flow detection (§5.3).
+//
+// Every control message exchanged in the simulator — and over real TCP in
+// package ofnet — is encoded and decoded through this package, so the
+// codec is exercised on every simulated control-plane interaction.
+package openflow

@@ -1,12 +1,3 @@
-// Package openflow implements the subset of the OpenFlow 1.3 wire protocol
-// that Scotch requires: the handshake (Hello/Features), keepalive (Echo),
-// reactive forwarding (Packet-In/Packet-Out/Flow-Mod/Flow-Removed), select
-// groups (Group-Mod) for load balancing across the vSwitch mesh, and flow
-// statistics (Multipart) for elephant-flow detection.
-//
-// Every control message exchanged in the simulator — and over real TCP in
-// package ofnet — is encoded and decoded through this package, so the codec
-// is exercised on every simulated control-plane interaction.
 package openflow
 
 import (

@@ -1,0 +1,9 @@
+// Package packet models network packets and their wire encoding.
+//
+// The design mirrors gopacket: each protocol layer is a struct with
+// SerializeTo/DecodeFromBytes methods, and a Packet bundles a decoded
+// layer stack. The simulator passes *Packet values between nodes; the
+// wire codec is exercised whenever packets cross an encapsulation
+// boundary (the MPLS/GRE overlay tunnels of §4.1) or are embedded into
+// OpenFlow Packet-In messages.
+package packet

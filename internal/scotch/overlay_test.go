@@ -319,3 +319,54 @@ func buildPolicyFixture(t *testing.T, naive bool) *policyFixture {
 	return &policyFixture{eng: eng, app: app, c: c, client: client, server: server,
 		fw: fw, fw2: fw2, cap: cp}
 }
+
+// TestAllBackupsDeadDegrades kills every mesh vSwitch — both primaries
+// and the lone backup. The overlay must degrade, not panic: the fan-out
+// goes empty, canOverlay steers new flows back to the physical admission
+// path, and the attack keeps being served by the controller directly.
+func TestAllBackupsDeadDegrades(t *testing.T) {
+	f := newFixture(t, DefaultConfig(), 2, 1)
+	ov := f.app.ov
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	f.eng.RunUntil(2 * time.Second)
+
+	for _, vs := range f.vs {
+		dead := vs.DPID
+		f.eng.Schedule(0, func() { ov.failover(dead) })
+	}
+	f.eng.RunUntil(2*time.Second + 50*time.Millisecond)
+
+	if got := len(ov.liveFanout(f.edge.DPID)); got != 0 {
+		t.Fatalf("fanout = %d after killing every vSwitch, want 0", got)
+	}
+	if _, ok := ov.selectVSwitch(f.edge.DPID, netaddr.FlowKey{}); ok {
+		t.Fatal("selectVSwitch resolved a dead mesh")
+	}
+	if want := uint64(len(f.vs)); f.app.Stats.FailoverSwaps != want {
+		t.Fatalf("failover swaps = %d, want %d", f.app.Stats.FailoverSwaps, want)
+	}
+
+	// With the whole mesh dead the active offload blackholes new flows,
+	// so the overlay's new-flow signal collapses and §5.5 withdrawal must
+	// disengage it — after which misses punt again and the controller
+	// resumes serving requests physically. No panic anywhere on the way.
+	before := f.app.Stats.Requests
+	f.eng.RunUntil(6 * time.Second)
+	d.Stop()
+	f.eng.RunUntil(7 * time.Second)
+	if f.app.Stats.Withdrawals == 0 {
+		t.Fatal("overlay never withdrew after total vSwitch loss")
+	}
+	if f.app.Stats.Requests <= before {
+		t.Fatal("controller stopped serving requests after total vSwitch loss")
+	}
+
+	// Repeat deaths stay idempotent even from the degraded state.
+	for _, vs := range f.vs {
+		ov.failover(vs.DPID)
+	}
+	if want := uint64(len(f.vs)); f.app.Stats.FailoverSwaps != want {
+		t.Fatalf("re-killing dead vSwitches re-counted swaps: %d, want %d",
+			f.app.Stats.FailoverSwaps, want)
+	}
+}

@@ -1,0 +1,10 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock and an event heap. All model
+// components (switches, links, traffic generators, the controller)
+// schedule callbacks on a single Engine, so an entire experiment is a
+// deterministic, seedable, single-goroutine program: running the same
+// configuration twice produces byte-identical results. That guarantee is
+// what makes the paper-reproduction tables and the chaos experiments
+// diffable across machines and runs.
+package sim

@@ -1,15 +1,3 @@
-// Package telemetry is the repository's observability layer: control-path
-// tracing (one span timeline per reactive flow, exportable as Chrome
-// trace-event JSON), an atomic metrics registry scraped in Prometheus text
-// format, and a live HTTP endpoint serving /metrics and /debug/pprof.
-//
-// Everything is designed to be zero-cost when disabled: a nil *Tracer, nil
-// *Counter, or nil *Gauge accepts every method call as a no-op without
-// allocating, so the simulator's hot paths (pinned at 0 allocs/op in the
-// benchmark suite) carry the hooks permanently and pay only a nil check
-// when telemetry is off. Recording never schedules simulation events or
-// consumes model randomness, so enabling a tracer cannot perturb the
-// same-seed byte-identical determinism guarantee.
 package telemetry
 
 import (
@@ -165,6 +153,25 @@ func (t *Tracer) Mark(name string, now sim.Time) {
 		return
 	}
 	t.marks = append(t.marks, mark{name: name, at: now})
+}
+
+// MarkEvent is an exported view of one recorded global instant event.
+type MarkEvent struct {
+	Name string
+	At   sim.Time
+}
+
+// Marks returns the global instant events recorded so far, in insertion
+// order. Nil-safe.
+func (t *Tracer) Marks() []MarkEvent {
+	if t == nil {
+		return nil
+	}
+	out := make([]MarkEvent, len(t.marks))
+	for i, m := range t.marks {
+		out[i] = MarkEvent{Name: m.name, At: m.at}
+	}
+	return out
 }
 
 // Flows returns the number of distinct flows traced.

@@ -1,7 +1,3 @@
-// Package topo builds and indexes simulated network topologies: the switch
-// graph, host attachment points, shortest-path computation for the
-// controller, and canonical topologies (single switch, linear, leaf-spine
-// data center with per-rack vSwitches) used by the experiments.
 package topo
 
 import (
@@ -36,6 +32,11 @@ type Network struct {
 	attach   map[netaddr.IPv4]Attach
 	adj      map[uint64][]edge
 
+	// Link registries for fault injection: direct switch-switch links
+	// keyed by both dpid orders, and host access links keyed by host IP.
+	swLinks   map[[2]uint64]*device.Link
+	hostLinks map[netaddr.IPv4]*device.Link
+
 	nextDPID uint64
 	nextPort map[uint64]uint32
 	nextMAC  uint32
@@ -44,13 +45,15 @@ type Network struct {
 // New returns an empty network on the given engine.
 func New(eng *sim.Engine) *Network {
 	return &Network{
-		Eng:      eng,
-		switches: make(map[uint64]*device.Switch),
-		byName:   make(map[string]*device.Switch),
-		hosts:    make(map[netaddr.IPv4]*device.Host),
-		attach:   make(map[netaddr.IPv4]Attach),
-		adj:      make(map[uint64][]edge),
-		nextPort: make(map[uint64]uint32),
+		Eng:       eng,
+		switches:  make(map[uint64]*device.Switch),
+		byName:    make(map[string]*device.Switch),
+		hosts:     make(map[netaddr.IPv4]*device.Host),
+		attach:    make(map[netaddr.IPv4]Attach),
+		adj:       make(map[uint64][]edge),
+		swLinks:   make(map[[2]uint64]*device.Link),
+		hostLinks: make(map[netaddr.IPv4]*device.Link),
+		nextPort:  make(map[uint64]uint32),
 	}
 }
 
@@ -121,18 +124,32 @@ func (n *Network) LinkSwitchesVia(a *device.Switch, via device.Node, b *device.S
 // records the adjacency for path computation. It returns the two port ids.
 func (n *Network) LinkSwitches(a, b *device.Switch, cfg device.LinkConfig) (uint32, uint32) {
 	pa, pb := n.allocPort(a), n.allocPort(b)
-	device.Connect(n.Eng, a, pa, b, pb, cfg)
+	l := device.Connect(n.Eng, a, pa, b, pb, cfg)
+	n.swLinks[[2]uint64{a.DPID, b.DPID}] = l
+	n.swLinks[[2]uint64{b.DPID, a.DPID}] = l
 	cost := linkCost(cfg)
 	n.adj[a.DPID] = append(n.adj[a.DPID], edge{to: b.DPID, outPort: pa, cost: cost})
 	n.adj[b.DPID] = append(n.adj[b.DPID], edge{to: a.DPID, outPort: pb, cost: cost})
 	return pa, pb
 }
 
+// SwitchLink returns the direct link between two switches created by
+// LinkSwitches, in either order, or nil when the switches are not
+// directly linked (links through a via node are not registered).
+func (n *Network) SwitchLink(a, b uint64) *device.Link {
+	return n.swLinks[[2]uint64{a, b}]
+}
+
+// HostLink returns the access link of the host with the given IP, or nil.
+func (n *Network) HostLink(ip netaddr.IPv4) *device.Link {
+	return n.hostLinks[ip]
+}
+
 // AttachHost connects a host to a switch with an auto-assigned switch port
 // and records the attachment. It returns the switch-side port id.
 func (n *Network) AttachHost(h *device.Host, sw *device.Switch, cfg device.LinkConfig) uint32 {
 	p := n.allocPort(sw)
-	device.Connect(n.Eng, sw, p, h, 1, cfg)
+	n.hostLinks[h.IP] = device.Connect(n.Eng, sw, p, h, 1, cfg)
 	n.attach[h.IP] = Attach{DPID: sw.DPID, Port: p}
 	return p
 }

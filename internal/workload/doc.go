@@ -1,0 +1,5 @@
+// Package workload generates the traffic the paper's experiments use: a
+// spoofed-source DDoS attacker (the hping3 stand-in of §3.2, where every
+// packet is a new flow), constant-rate clients, flash crowds, and a
+// heavy-tailed synthetic trace for the trace-driven experiment (§6.2).
+package workload

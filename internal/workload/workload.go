@@ -1,7 +1,3 @@
-// Package workload generates the traffic the paper's experiments use: a
-// spoofed-source DDoS attacker (the hping3 stand-in), constant-rate
-// clients, flash crowds, and a heavy-tailed synthetic trace for the
-// trace-driven experiment.
 package workload
 
 import (
