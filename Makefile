@@ -28,14 +28,16 @@ vet:
 doclint:
 	$(GO) run ./cmd/doclint
 
-# The chaos experiments: §5 reliability mechanisms under injected faults.
+# The chaos experiments (§5 reliability mechanisms under injected faults)
+# plus the elastic autoscaler cycle, which exercises the same live-mutation
+# paths from the control-loop side.
 chaos:
-	$(GO) run ./cmd/scotchsim run chaos-vswitch chaos-partition chaos-churn
+	$(GO) run ./cmd/scotchsim run chaos-vswitch chaos-partition chaos-churn elastic
 
-# Chaos trace artifact: fault marks and control-path spans for the two
-# fast chaos experiments (Chrome trace-event JSON).
+# Chaos + elastic trace artifact: fault and resize marks with control-path
+# spans for the fast experiments (Chrome trace-event JSON).
 trace-chaos:
-	$(GO) run ./cmd/scotchsim run chaos-partition chaos-churn -trace trace_chaos.json
+	$(GO) run ./cmd/scotchsim run chaos-partition chaos-churn elastic -trace trace_chaos.json
 
 # Micro + macro benchmarks with allocation counts.
 bench:

@@ -149,3 +149,7 @@ func BenchmarkChaosPartition(b *testing.B) { benchExperiment(b, "chaos-partition
 // BenchmarkChaosChurn regenerates the link-flap churn experiment:
 // overlay deploy/withdraw cycling under §5.5 withdrawal.
 func BenchmarkChaosChurn(b *testing.B) { benchExperiment(b, "chaos-churn") }
+
+// BenchmarkElastic regenerates the elastic-pool experiment: the
+// autoscaler grows the mesh under a ramping attack and drains it back.
+func BenchmarkElastic(b *testing.B) { benchExperiment(b, "elastic") }

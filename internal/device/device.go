@@ -16,6 +16,10 @@ type Node interface {
 	Receive(pkt *packet.Packet, port *Port)
 	// attachPort registers a new port on the node.
 	attachPort(p *Port)
+	// detachPort removes a previously attached port, as when an overlay
+	// tunnel is torn down on a live topology. Detaching a port that was
+	// never attached is a no-op.
+	detachPort(p *Port)
 }
 
 // Port is one attachment point of a node: either the endpoint of a

@@ -31,6 +31,15 @@ func (h *Host) Name() string { return h.name }
 
 func (h *Host) attachPort(p *Port) { h.ports = append(h.ports, p) }
 
+func (h *Host) detachPort(p *Port) {
+	for i, q := range h.ports {
+		if q == p {
+			h.ports = append(h.ports[:i], h.ports[i+1:]...)
+			return
+		}
+	}
+}
+
 // Port returns the host's primary attachment port (the first connected),
 // or nil. Additional ports terminate Scotch delivery tunnels.
 func (h *Host) Port() *Port {

@@ -49,6 +49,14 @@ func (f *Firewall) attachPort(p *Port) {
 	}
 }
 
+func (f *Firewall) detachPort(p *Port) {
+	for i := range f.ports {
+		if f.ports[i] == p {
+			f.ports[i] = nil
+		}
+	}
+}
+
 // StateCount returns the number of established flow entries.
 func (f *Firewall) StateCount() int { return len(f.established) }
 
@@ -118,6 +126,14 @@ func (lb *LoadBalancer) attachPort(p *Port) {
 	if lb.nport < 2 {
 		lb.ports[lb.nport] = p
 		lb.nport++
+	}
+}
+
+func (lb *LoadBalancer) detachPort(p *Port) {
+	for i := range lb.ports {
+		if lb.ports[i] == p {
+			lb.ports[i] = nil
+		}
 	}
 }
 

@@ -105,6 +105,12 @@ func (sw *Switch) Name() string { return sw.name }
 
 func (sw *Switch) attachPort(p *Port) { sw.ports[p.ID] = p }
 
+func (sw *Switch) detachPort(p *Port) {
+	if sw.ports[p.ID] == p {
+		delete(sw.ports, p.ID)
+	}
+}
+
 // Port returns the port with the given id, or nil.
 func (sw *Switch) Port(id uint32) *Port { return sw.ports[id] }
 

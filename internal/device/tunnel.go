@@ -50,6 +50,7 @@ type Tunnel struct {
 
 	busyUntil [2]sim.Time
 	down      bool
+	dead      bool
 	Drops     uint64
 	Encapped  uint64
 	Decapped  uint64
@@ -77,6 +78,17 @@ func (t *Tunnel) Ports() (*Port, *Port) { return t.a, t.b }
 // underlay path it rides is partitioned. While down, packets offered at
 // either endpoint are counted in Drops and discarded.
 func (t *Tunnel) SetDown(down bool) { t.down = down }
+
+// Teardown permanently removes the tunnel from the live topology: both
+// endpoint ports are detached from their owners and the tunnel is forced
+// down, so in-flight packets arriving after teardown are dropped rather
+// than delivered to a port that no longer exists. Teardown is idempotent.
+func (t *Tunnel) Teardown() {
+	t.down = true
+	t.dead = true
+	t.a.Owner.detachPort(t.a)
+	t.b.Owner.detachPort(t.b)
+}
 
 // Down reports whether the tunnel is currently forced down.
 func (t *Tunnel) Down() bool { return t.down }
@@ -135,6 +147,10 @@ func (t *Tunnel) transmit(pkt *packet.Packet, from *Port, tunnelKey uint64) {
 }
 
 func (t *Tunnel) deliver(pkt *packet.Packet, to *Port) {
+	if t.dead {
+		t.Drops++
+		return
+	}
 	stripInner := t.Cfg.StripInnerB
 	if to == t.a {
 		stripInner = t.Cfg.StripInnerA

@@ -1,0 +1,220 @@
+package elastic
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"scotch/internal/sim"
+	"scotch/internal/telemetry"
+)
+
+// fakePool is a scripted Pool: instant resizes, optional growth failure.
+type fakePool struct {
+	size     int
+	growErr  error
+	grows    int
+	shrinks  int
+	draining int // members shrunk but not yet gone; not counted by Size
+}
+
+func (p *fakePool) Size() int { return p.size }
+
+func (p *fakePool) Grow() error {
+	if p.growErr != nil {
+		return p.growErr
+	}
+	p.grows++
+	p.size++
+	return nil
+}
+
+func (p *fakePool) Shrink() error {
+	p.shrinks++
+	p.size--
+	p.draining++
+	return nil
+}
+
+// scriptedLoad replays a load trajectory, one value per evaluation,
+// holding the last value once exhausted.
+func scriptedLoad(vals ...float64) LoadFunc {
+	i := 0
+	return func() float64 {
+		v := vals[i]
+		if i < len(vals)-1 {
+			i++
+		}
+		return v
+	}
+}
+
+func testCfg() Config {
+	return Config{
+		EvalInterval:  100 * time.Millisecond,
+		ScaleUpLoad:   100,
+		ScaleDownLoad: 20,
+		UpChecks:      2,
+		DownChecks:    3,
+		Cooldown:      250 * time.Millisecond,
+		MinPool:       1,
+		MaxPool:       3,
+	}
+}
+
+func TestHysteresisGrowAndShrink(t *testing.T) {
+	eng := sim.New(1)
+	pool := &fakePool{size: 1}
+	// Two hot samples grow; a single hot sample must not. Then sustained
+	// cold samples shrink back, each shrink gated by DownChecks+cooldown.
+	load := scriptedLoad(
+		150, 50, // broken streak: no grow
+		150, 150, // grow to 2
+		150, 150, 150, // grow to 3 once cooldown passes
+		10, 10, 10, 10, 10, 10, 10, 10, 10, 10, // shrink to 2, then 1
+	)
+	a := New(eng, testCfg(), pool, load).Start()
+	eng.RunUntil(3 * time.Second)
+	a.Stop()
+
+	if pool.grows != 2 {
+		t.Fatalf("grows = %d, want 2", pool.grows)
+	}
+	if pool.shrinks != 2 {
+		t.Fatalf("shrinks = %d, want 2", pool.shrinks)
+	}
+	if pool.size != 1 {
+		t.Fatalf("final size = %d, want MinPool", pool.size)
+	}
+	if a.Stats.Ups != 2 || a.Stats.Downs != 2 {
+		t.Fatalf("stats = %+v", a.Stats)
+	}
+}
+
+func TestSingleSpikeDoesNotGrow(t *testing.T) {
+	eng := sim.New(1)
+	pool := &fakePool{size: 1}
+	load := scriptedLoad(150, 0, 150, 0, 150, 0)
+	a := New(eng, testCfg(), pool, load).Start()
+	eng.RunUntil(time.Second)
+	a.Stop()
+	if pool.grows != 0 {
+		t.Fatalf("grew on alternating spikes (grows=%d) — UpChecks hysteresis broken", pool.grows)
+	}
+}
+
+func TestCooldownSpacesResizes(t *testing.T) {
+	eng := sim.New(1)
+	pool := &fakePool{size: 1}
+	a := New(eng, testCfg(), pool, scriptedLoad(150)).Start()
+	// Load is pegged high. With a 100ms eval and 250ms cooldown the pool
+	// may grow at most once per 3 evals: by 650ms (6 evals) exactly two
+	// resizes fit (t=200ms and t=500ms).
+	eng.RunUntil(650 * time.Millisecond)
+	a.Stop()
+	if pool.grows != 2 {
+		t.Fatalf("grows = %d in 650ms, want 2 (cooldown not enforced)", pool.grows)
+	}
+}
+
+func TestBoundsRespected(t *testing.T) {
+	eng := sim.New(1)
+	pool := &fakePool{size: 1}
+	a := New(eng, testCfg(), pool, scriptedLoad(500)).Start()
+	eng.RunUntil(10 * time.Second)
+	if pool.size != 3 {
+		t.Fatalf("size = %d under sustained load, want MaxPool=3", pool.size)
+	}
+	a.Stop()
+
+	eng2 := sim.New(1)
+	pool2 := &fakePool{size: 1}
+	b := New(eng2, testCfg(), pool2, scriptedLoad(0)).Start()
+	eng2.RunUntil(10 * time.Second)
+	b.Stop()
+	if pool2.shrinks != 0 || pool2.size != 1 {
+		t.Fatalf("shrank below MinPool (size=%d)", pool2.size)
+	}
+}
+
+func TestGrowFailureRetries(t *testing.T) {
+	eng := sim.New(1)
+	pool := &fakePool{size: 1, growErr: errors.New("no standby")}
+	a := New(eng, testCfg(), pool, scriptedLoad(500)).Start()
+	eng.RunUntil(time.Second)
+	if pool.grows != 0 || a.Stats.Ups != 0 {
+		t.Fatal("counted a failed grow")
+	}
+	// Capacity appears: the sustained streak must convert to a grow on
+	// the next evaluation without restarting from zero.
+	pool.growErr = nil
+	eng.RunUntil(1100 * time.Millisecond)
+	a.Stop()
+	if pool.grows != 1 {
+		t.Fatalf("grows = %d after capacity appeared, want 1", pool.grows)
+	}
+}
+
+func TestMetricsAndMarks(t *testing.T) {
+	eng := sim.New(1)
+	pool := &fakePool{size: 1}
+	a := New(eng, testCfg(), pool, scriptedLoad(150, 150, 150, 0, 0, 0, 0, 0, 0))
+	tr := telemetry.NewTracer()
+	a.SetTracer(tr)
+	reg := telemetry.NewRegistry()
+	a.BindMetrics(reg)
+	a.Start()
+	eng.RunUntil(2 * time.Second)
+	a.Stop()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`scotch_elastic_resize_total{dir="up"} 1`,
+		`scotch_elastic_resize_total{dir="down"} 1`,
+		"scotch_elastic_pool_size 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+	var grow, drain bool
+	for _, m := range tr.Marks() {
+		if strings.HasPrefix(m.Name, "elastic:grow") {
+			grow = true
+		}
+		if strings.HasPrefix(m.Name, "elastic:drain") {
+			drain = true
+		}
+	}
+	if !grow || !drain {
+		t.Fatalf("missing resize marks (grow=%v drain=%v)", grow, drain)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.New(1)
+	bad := []func(*Config){
+		func(c *Config) { c.EvalInterval = 0 },
+		func(c *Config) { c.ScaleDownLoad = c.ScaleUpLoad },
+		func(c *Config) { c.UpChecks = 0 },
+		func(c *Config) { c.MinPool = 0 },
+		func(c *Config) { c.MaxPool = c.MinPool - 1 },
+	}
+	for i, mutate := range bad {
+		cfg := testCfg()
+		mutate(&cfg)
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config mutation %d not rejected", i)
+				}
+			}()
+			New(eng, cfg, &fakePool{size: 1}, scriptedLoad(0))
+		}()
+	}
+}

@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-fifo-scheduler", "ablation-withdrawal",
 		"cluster-scale", "cluster-migrate", "cluster-failover",
 		"chaos-vswitch", "chaos-partition", "chaos-churn",
+		"elastic",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

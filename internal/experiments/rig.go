@@ -24,18 +24,23 @@ type rig struct {
 	clients []*device.Host
 	servers []*device.Host
 	vs      []*device.Switch
+	standby []*device.Switch
 	c       *controller.Controller
 	app     *scotch.App
 	cap     *capture.Capture
 }
 
 type rigConfig struct {
-	seed      int64
-	cfg       scotch.Config
-	nClients  int
-	nServers  int
-	nPrimary  int
-	nBackup   int
+	seed     int64
+	cfg      scotch.Config
+	nClients int
+	nServers int
+	nPrimary int
+	nBackup  int
+	// nStandby provisions extra vSwitches that are linked and connected
+	// to the controller but left out of the mesh: spare capacity for the
+	// elastic autoscaler to grow into.
+	nStandby  int
 	noOverlay bool // run the plain reactive baseline instead of Scotch
 }
 
@@ -61,6 +66,11 @@ func newRig(rc rigConfig) *rig {
 		vs := net.AddSwitch(fmt.Sprintf("vs%d", i), device.OVSProfile())
 		net.LinkSwitches(edge, vs, device.LinkConfig{Delay: 20 * time.Microsecond, RateBps: 1e9})
 		r.vs = append(r.vs, vs)
+	}
+	for i := 0; i < rc.nStandby; i++ {
+		sb := net.AddSwitch(fmt.Sprintf("sb%d", i), device.OVSProfile())
+		net.LinkSwitches(edge, sb, device.LinkConfig{Delay: 20 * time.Microsecond, RateBps: 1e9})
+		r.standby = append(r.standby, sb)
 	}
 
 	r.c = controller.New(eng, net)
@@ -96,6 +106,9 @@ func newRig(rc rigConfig) *rig {
 		edge.SetTracer(tr)
 		for _, vs := range r.vs {
 			vs.SetTracer(tr)
+		}
+		for _, sb := range r.standby {
+			sb.SetTracer(tr)
 		}
 		for _, srv := range r.servers {
 			traceDelivery(tr, srv)

@@ -220,15 +220,23 @@ func (a *App) handleStats(rep *openflow.MultipartReply) {
 		if fi == nil || !fi.OnOverlay || fi.Migrated {
 			continue
 		}
-		if a.migrating == nil {
-			a.migrating = make(map[netaddr.FlowKey]bool)
-		}
-		if a.migrating[key] {
-			continue
-		}
-		a.migrating[key] = true
-		a.sched(fi.FirstHop).SubmitMigration(func() { a.migrate(fi) })
+		a.migrateOut(fi)
 	}
+}
+
+// migrateOut queues one overlay flow for migration to a physical path,
+// deduplicating against migrations already in flight. Shared by the
+// elephant identifier and the drain protocol, which hands a draining
+// vSwitch's established flows here.
+func (a *App) migrateOut(fi *controller.FlowInfo) {
+	if a.migrating == nil {
+		a.migrating = make(map[netaddr.FlowKey]bool)
+	}
+	if a.migrating[fi.Key] {
+		return
+	}
+	a.migrating[fi.Key] = true
+	a.sched(fi.FirstHop).SubmitMigration(func() { a.migrate(fi) })
 }
 
 // migrate moves one elephant from the overlay to a policy-consistent

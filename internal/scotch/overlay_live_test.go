@@ -1,0 +1,323 @@
+package scotch
+
+import (
+	"testing"
+	"time"
+
+	"scotch/internal/device"
+	"scotch/internal/netaddr"
+	"scotch/internal/workload"
+)
+
+// TestNoEmptyBucketGroupMod is the regression test for the empty-bucket
+// GroupMod bug: when every fan-out vSwitch is dead, installGroup used to
+// push a select group with zero buckets, silently blackholing all
+// offloaded traffic at the switch. The fix deactivates the offload
+// instead and leaves the last-known buckets in place.
+func TestNoEmptyBucketGroupMod(t *testing.T) {
+	f := newFixture(t, DefaultConfig(), 2, 1)
+	ov := f.app.ov
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	f.eng.RunUntil(2 * time.Second)
+	if g := f.edge.Pipeline.Groups.Get(offloadGroupID); g == nil || len(g.Buckets) == 0 {
+		t.Fatal("offload group missing before the kill — fixture broken")
+	}
+
+	for _, vs := range f.vs {
+		dead := vs.DPID
+		f.eng.Schedule(0, func() { ov.failover(dead) })
+	}
+	f.eng.RunUntil(2*time.Second + 50*time.Millisecond)
+	d.Stop()
+
+	// Every re-derivation of the bucket list during the cascade must have
+	// kept the installed group non-empty; the final state too.
+	g := f.edge.Pipeline.Groups.Get(offloadGroupID)
+	if g == nil {
+		t.Fatal("offload group deleted by total vSwitch loss")
+	}
+	if len(g.Buckets) == 0 {
+		t.Fatal("empty-bucket GroupMod installed after all fan-out vSwitches died")
+	}
+	// The offload must have disengaged instead: packets stay on the
+	// physical control path rather than hashing into dead tunnels.
+	if f.app.Active(f.edge.DPID) {
+		t.Fatal("offload still active with zero live fan-out")
+	}
+	if f.app.Stats.Withdrawals == 0 {
+		t.Fatal("no withdrawal recorded when the fan-out emptied")
+	}
+}
+
+// TestAddVSwitchLive grows a running overlay by one member and checks the
+// new vSwitch is fully wired: mesh tunnels, fan-out from the protected
+// switch, select-group bucket, and real Packet-In traffic.
+func TestAddVSwitchLive(t *testing.T) {
+	f := newFixture(t, DefaultConfig(), 1, 0)
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	f.eng.RunUntil(2 * time.Second)
+	if !f.app.Active(f.edge.DPID) {
+		t.Fatal("overlay never activated")
+	}
+
+	nv := f.net.AddSwitch("vsz", device.OVSProfile())
+	f.net.LinkSwitches(f.edge, nv, device.LinkConfig{Delay: 20 * time.Microsecond, RateBps: 1e9})
+
+	// Guard rails first: not yet connected to the controller.
+	if err := f.app.AddVSwitch(nv.DPID, false); err == nil {
+		t.Fatal("AddVSwitch accepted a switch with no controller connection")
+	}
+	f.c.Connect(nv)
+	if err := f.app.AddVSwitch(nv.DPID, false); err != nil {
+		t.Fatalf("live AddVSwitch: %v", err)
+	}
+	if err := f.app.AddVSwitch(nv.DPID, false); err == nil {
+		t.Fatal("AddVSwitch accepted a duplicate member")
+	}
+	if err := f.app.AddVSwitch(0xdead, false); err == nil {
+		t.Fatal("AddVSwitch accepted an unknown dpid")
+	}
+
+	members := f.app.MeshMembers()
+	if len(members) != 2 || members[1] != nv.DPID {
+		t.Fatalf("mesh members = %v, want [old, new]", members)
+	}
+	ov := f.app.ov
+	if _, ok := ov.meshPort[[2]uint64{f.vs[0].DPID, nv.DPID}]; !ok {
+		t.Fatal("no mesh tunnel from the old member to the new one")
+	}
+	if got := len(ov.liveFanout(f.edge.DPID)); got != 2 {
+		t.Fatalf("fan-out = %d after live add, want 2", got)
+	}
+	if f.app.Stats.VSwitchesAdded != 1 {
+		t.Fatalf("VSwitchesAdded = %d, want 1", f.app.Stats.VSwitchesAdded)
+	}
+
+	// The refreshed GroupMod rides the control channel; give it a moment
+	// to land, then the installed group must carry both buckets.
+	f.eng.RunUntil(2*time.Second + 100*time.Millisecond)
+	g := f.edge.Pipeline.Groups.Get(offloadGroupID)
+	if g == nil || len(g.Buckets) != 2 {
+		t.Fatalf("select group not refreshed for the new member (buckets=%v)", g)
+	}
+
+	// The new member must absorb a share of the attack.
+	f.eng.RunUntil(5 * time.Second)
+	d.Stop()
+	if nv.Stats.PacketInSent == 0 {
+		t.Fatal("live-added vSwitch received no offloaded flows")
+	}
+}
+
+// TestDrainVSwitchGraceful shrinks a running overlay: the drained member
+// stops taking new flows immediately, its per-flow rules idle out, and
+// only then are its tunnels torn down — while client traffic keeps
+// flowing. The member can be re-added afterwards.
+func TestDrainVSwitchGraceful(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RuleIdleTimeout = 2 * time.Second
+	f := newFixture(t, cfg, 2, 0)
+	victim := f.vs[1].DPID
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	cl := workload.StartClient(f.cliEm, f.server.IP, 50, 1, 0)
+	f.eng.RunUntil(2 * time.Second)
+
+	if err := f.app.DrainVSwitch(victim); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if err := f.app.DrainVSwitch(victim); err == nil {
+		t.Fatal("second drain of the same member accepted")
+	}
+	if !f.app.Draining(victim) {
+		t.Fatal("Draining not reported during drain")
+	}
+	// New assignments exclude the member instantly.
+	ov := f.app.ov
+	if got := len(ov.liveFanout(f.edge.DPID)); got != 1 {
+		t.Fatalf("fan-out = %d right after drain start, want 1", got)
+	}
+	for i := 0; i < 64; i++ {
+		key := netaddr.FlowKey{Src: f.client.IP, Dst: f.server.IP, SrcPort: uint16(i), DstPort: 80}
+		if pt, ok := ov.selectVSwitch(f.edge.DPID, key); !ok || pt.vs == victim {
+			t.Fatalf("selectVSwitch still offers draining member (flow %d)", i)
+		}
+	}
+	// But the member is still a mesh member while its flows bleed off.
+	if got := len(f.app.MeshMembers()); got != 2 {
+		t.Fatalf("membership shrank before quiescence (members=%d)", got)
+	}
+
+	// Let the attack stop; the drained member's rules idle out and the
+	// poll tears it down.
+	f.eng.RunUntil(4 * time.Second)
+	d.Stop()
+	f.eng.RunUntil(12 * time.Second)
+	cl.Stop()
+	f.eng.RunUntil(13 * time.Second)
+
+	if f.app.Draining(victim) {
+		t.Fatal("drain never completed")
+	}
+	if f.app.Stats.VSwitchesDrained != 1 {
+		t.Fatalf("VSwitchesDrained = %d, want 1", f.app.Stats.VSwitchesDrained)
+	}
+	members := f.app.MeshMembers()
+	if len(members) != 1 || members[0] == victim {
+		t.Fatalf("mesh members after drain = %v", members)
+	}
+	if _, ok := ov.meshPort[[2]uint64{f.vs[0].DPID, victim}]; ok {
+		t.Fatal("mesh tunnel to drained member survived")
+	}
+	for _, pt := range ov.phys[f.edge.DPID] {
+		if pt.vs == victim {
+			t.Fatal("fan-out tunnel to drained member survived")
+		}
+	}
+	// Drain must not have hurt the client beyond what the attack itself
+	// costs: 0.15 is the repo's no-drain bound under the same 2000/s
+	// attack (TestClientProtectedDuringAttack). The strict zero-loss
+	// assertion lives in the elastic experiment's controlled setup.
+	if failure := f.cap.FailureFraction("client"); failure > 0.15 {
+		t.Fatalf("client failure across drain = %.3f, want < 0.15", failure)
+	}
+
+	// A drained member can rejoin with fresh plumbing.
+	if err := f.app.AddVSwitch(victim, false); err != nil {
+		t.Fatalf("re-add after drain: %v", err)
+	}
+	if got := len(f.app.MeshMembers()); got != 2 {
+		t.Fatalf("members after re-add = %d, want 2", got)
+	}
+	if got := len(ov.liveFanout(f.edge.DPID)); got != 2 {
+		t.Fatalf("fan-out after re-add = %d, want 2", got)
+	}
+}
+
+// TestDrainElephantHandoff drains the member carrying an established
+// elephant flow's delivery: the drain must hand the flow to the
+// migration path (rather than waiting forever for it to idle out) and
+// the flow must keep running on its physical path.
+func TestDrainElephantHandoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ElephantBytes = 1 << 30 // byte-count migration off: only drain may migrate
+	cfg.RuleIdleTimeout = 2 * time.Second
+	f := newFixture(t, cfg, 2, 0)
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	key := netaddr.FlowKey{Src: f.client.IP, Dst: f.server.IP, Proto: netaddr.ProtoTCP, SrcPort: 9999, DstPort: 80}
+	f.eng.Schedule(time.Second, func() {
+		for i := 0; i < 60; i++ {
+			k := netaddr.FlowKey{Src: f.client.IP, Dst: f.server.IP, Proto: netaddr.ProtoTCP, SrcPort: uint16(3000 + i), DstPort: 80}
+			f.cliEm.Start(workload.Flow{Key: k, Packets: 1, Class: "filler"})
+		}
+		f.cliEm.Start(workload.Flow{Key: key, Packets: 5000, Interval: 2 * time.Millisecond, Size: 1000, Class: "elephant"})
+	})
+	f.eng.RunUntil(3 * time.Second)
+
+	fi := f.c.FlowDB.Lookup(key)
+	if fi == nil || !fi.OnOverlay {
+		t.Fatal("elephant did not land on the overlay — fixture broken")
+	}
+	if fi.Migrated || f.app.Stats.Migrated != 0 {
+		t.Fatal("flow migrated before the drain with byte-count migration off")
+	}
+
+	// Drain the member serving the server's delivery: every overlay flow
+	// to the server rides it on its last hop, elephant included.
+	if err := f.app.DrainVSwitch(f.vs[0].DPID); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	f.eng.RunUntil(6 * time.Second)
+	if !fi.Migrated {
+		t.Fatalf("elephant not handed to migration by drain (stats=%+v)", f.app.Stats)
+	}
+	if f.app.Stats.Migrated == 0 {
+		t.Fatal("migration count zero after drain handoff")
+	}
+	fl := f.cap.Flows("elephant")
+	if len(fl) != 1 || fl[0].PacketsRecv == 0 {
+		t.Fatal("elephant stopped flowing")
+	}
+	mid := fl[0].PacketsRecv
+	d.Stop()
+	f.eng.RunUntil(9 * time.Second)
+	if fl[0].PacketsRecv <= mid {
+		t.Fatal("elephant stalled after drain handoff")
+	}
+	f.eng.RunUntil(14 * time.Second)
+	if f.app.Stats.VSwitchesDrained != 1 {
+		t.Fatalf("drain never completed (VSwitchesDrained=%d)", f.app.Stats.VSwitchesDrained)
+	}
+}
+
+// TestDrainRacingFailover kills a member mid-drain: failover must finish
+// the drain immediately (nothing left to wait for) and the orphaned
+// drain poll must quietly stop, with no double-teardown or re-count.
+func TestDrainRacingFailover(t *testing.T) {
+	f := newFixture(t, DefaultConfig(), 2, 1)
+	victim := f.vs[1].DPID
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	f.eng.RunUntil(2 * time.Second)
+
+	if err := f.app.DrainVSwitch(victim); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	f.eng.RunUntil(2*time.Second + 100*time.Millisecond)
+	if f.app.Stats.VSwitchesDrained != 0 {
+		t.Fatal("drain finished before the member died — race not exercised")
+	}
+	f.app.ov.failover(victim)
+
+	if f.app.Stats.VSwitchesDrained != 1 {
+		t.Fatalf("failover did not finish the drain (VSwitchesDrained=%d)", f.app.Stats.VSwitchesDrained)
+	}
+	if f.app.Draining(victim) {
+		t.Fatal("draining flag survived the failover")
+	}
+	for _, m := range f.app.MeshMembers() {
+		if m == victim {
+			t.Fatal("dead draining member still in the mesh")
+		}
+	}
+	// The scheduled pollDrain must see the cleared flag and no-op.
+	f.eng.RunUntil(4 * time.Second)
+	d.Stop()
+	f.eng.RunUntil(5 * time.Second)
+	if f.app.Stats.VSwitchesDrained != 1 {
+		t.Fatalf("orphaned drain poll re-finished the drain (VSwitchesDrained=%d)", f.app.Stats.VSwitchesDrained)
+	}
+	if f.app.Stats.FailoverSwaps != 1 {
+		t.Fatalf("FailoverSwaps = %d, want 1", f.app.Stats.FailoverSwaps)
+	}
+}
+
+// TestDrainGuards covers the refusal cases: the last live primary can
+// never be drained, non-members are rejected, and a member that is
+// already dead is reclaimed immediately without a poll cycle.
+func TestDrainGuards(t *testing.T) {
+	f := newFixture(t, DefaultConfig(), 1, 1)
+	d := workload.StartDDoS(f.atkEm, f.server.IP, 2000)
+	f.eng.RunUntil(2 * time.Second)
+	d.Stop()
+
+	if err := f.app.DrainVSwitch(f.vs[0].DPID); err == nil {
+		t.Fatal("drained the last live primary")
+	}
+	if err := f.app.DrainVSwitch(0xdead); err == nil {
+		t.Fatal("drained a non-member")
+	}
+
+	// A dead member drains instantly: there is nothing to wait for.
+	backup := f.vs[1].DPID
+	f.app.ov.failover(backup)
+	if err := f.app.DrainVSwitch(backup); err != nil {
+		t.Fatalf("drain of dead member: %v", err)
+	}
+	if f.app.Stats.VSwitchesDrained != 1 {
+		t.Fatalf("dead member not reclaimed immediately (VSwitchesDrained=%d)", f.app.Stats.VSwitchesDrained)
+	}
+	for _, m := range f.app.MeshMembers() {
+		if m == backup {
+			t.Fatal("dead member still in the mesh after drain")
+		}
+	}
+}

@@ -10,6 +10,18 @@ import (
 // typically "send one FlowMod to this switch".
 type job func()
 
+// fifoItem is one arrival-order queue entry in the FIFO ablation.
+// Ingress requests are kept as data (not closures) so the per-port
+// accounting is adjusted at pop time, exactly like the priority path
+// pops its queue before serving — keeping IngressLen consistent between
+// the two modes at every observation point.
+type fifoItem struct {
+	ingress bool
+	port    uint32
+	req     *flowReq
+	j       job
+}
+
 // installScheduler paces the controller's rule installation toward one
 // switch at rate R, the maximum loss-free insertion rate of that switch
 // (paper §5.2/§6.1), with the paper's three priority classes:
@@ -37,7 +49,7 @@ type installScheduler struct {
 	// all work is served in arrival order. This exists only for the
 	// scheduler ablation; the paper's design is the priority scheduler.
 	fifoMode     bool
-	fifo         []job
+	fifo         []fifoItem
 	ingressCount map[uint32]int
 
 	// serveIngress processes a popped new-flow request; wired to the
@@ -61,7 +73,7 @@ func newScheduler(eng *sim.Engine, rate float64, serveIngress func(*flowReq)) *i
 // SubmitAdmitted queues highest-priority work (admitted-flow rules).
 func (s *installScheduler) SubmitAdmitted(j job) {
 	if s.fifoMode {
-		s.fifo = append(s.fifo, j)
+		s.fifo = append(s.fifo, fifoItem{j: j})
 	} else {
 		s.admitted = append(s.admitted, j)
 	}
@@ -71,7 +83,7 @@ func (s *installScheduler) SubmitAdmitted(j job) {
 // SubmitMigration queues a large-flow migration step.
 func (s *installScheduler) SubmitMigration(j job) {
 	if s.fifoMode {
-		s.fifo = append(s.fifo, j)
+		s.fifo = append(s.fifo, fifoItem{j: j})
 	} else {
 		s.migration = append(s.migration, j)
 	}
@@ -81,10 +93,7 @@ func (s *installScheduler) SubmitMigration(j job) {
 // SubmitIngress appends a new-flow request to its ingress-port queue.
 func (s *installScheduler) SubmitIngress(port uint32, r *flowReq) {
 	if s.fifoMode {
-		s.fifo = append(s.fifo, func() {
-			s.ingressCount[port]--
-			s.serveIngress(r)
-		})
+		s.fifo = append(s.fifo, fifoItem{ingress: true, port: port, req: r})
 		s.ingressCount[port]++
 		s.kick()
 		return
@@ -97,7 +106,8 @@ func (s *installScheduler) SubmitIngress(port uint32, r *flowReq) {
 }
 
 // IngressLen returns the backlog of one ingress-port queue. In FIFO mode
-// the per-port count is approximated by submissions minus services.
+// the per-port count is tracked at submit and pop, mirroring the
+// priority path's queue length; it is never negative.
 func (s *installScheduler) IngressLen(port uint32) int {
 	if s.fifoMode {
 		return s.ingressCount[port]
@@ -133,9 +143,20 @@ func (s *installScheduler) serveOne() {
 		if len(s.fifo) == 0 {
 			return
 		}
-		j := s.fifo[0]
+		it := s.fifo[0]
 		s.fifo = s.fifo[1:]
-		j()
+		if !it.ingress {
+			it.j()
+			return
+		}
+		// Adjust the per-port count at pop time, before serving — the
+		// same point where the priority path shortens its queue — and
+		// drop zeroed entries so the map stays bounded by the set of
+		// ports with backlog.
+		if s.ingressCount[it.port]--; s.ingressCount[it.port] <= 0 {
+			delete(s.ingressCount, it.port)
+		}
+		s.serveIngress(it.req)
 		return
 	}
 	if len(s.admitted) > 0 {
@@ -150,15 +171,33 @@ func (s *installScheduler) serveOne() {
 		j()
 		return
 	}
-	// Round-robin over ingress ports with pending requests.
-	for range s.rrPorts {
-		port := s.rrPorts[s.rrIdx%len(s.rrPorts)]
-		s.rrIdx++
-		if q := s.ingress[port]; len(q) > 0 {
-			r := q[0]
-			s.ingress[port] = q[1:]
-			s.serveIngress(r)
-			return
+	// Round-robin over ingress ports with pending requests. Ports whose
+	// queues have drained are compacted out of the ring (and out of the
+	// ingress map) rather than skipped, so rrPorts stays bounded by the
+	// set of ports with backlog and never scans stale entries; a port
+	// that refills re-enters the ring at the tail via SubmitIngress.
+	for len(s.rrPorts) > 0 {
+		if s.rrIdx >= len(s.rrPorts) {
+			s.rrIdx = 0
 		}
+		port := s.rrPorts[s.rrIdx]
+		q := s.ingress[port]
+		if len(q) == 0 {
+			// Dead slot: remove it in place; the next port slides into
+			// this index, so rrIdx is not advanced.
+			s.rrPorts = append(s.rrPorts[:s.rrIdx], s.rrPorts[s.rrIdx+1:]...)
+			delete(s.ingress, port)
+			continue
+		}
+		r := q[0]
+		if len(q) == 1 {
+			s.rrPorts = append(s.rrPorts[:s.rrIdx], s.rrPorts[s.rrIdx+1:]...)
+			delete(s.ingress, port)
+		} else {
+			s.ingress[port] = q[1:]
+			s.rrIdx++
+		}
+		s.serveIngress(r)
+		return
 	}
 }

@@ -1,0 +1,124 @@
+package scotch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRRPortsCompaction is the regression test for the unbounded-rrPorts
+// bug: ports were appended to the round-robin ring on first submit and
+// never removed, so churny ingress ports (a new port per flow burst)
+// grew the ring and the ingress map without bound and every serve
+// scanned the stale slots. After the fix, a drained port leaves both
+// structures entirely.
+func TestRRPortsCompaction(t *testing.T) {
+	eng := simNew()
+	served := 0
+	s := newScheduler(eng, 10000, func(r *flowReq) { served++ })
+	const churn = 500
+	for p := uint32(1); p <= churn; p++ {
+		port := p
+		eng.Schedule(time.Duration(p)*time.Millisecond, func() {
+			s.SubmitIngress(port, &flowReq{port: port})
+		})
+	}
+	eng.RunUntil(2 * time.Second)
+	if served != churn {
+		t.Fatalf("served %d of %d requests", served, churn)
+	}
+	if s.TotalBacklog() != 0 {
+		t.Fatalf("TotalBacklog = %d after drain", s.TotalBacklog())
+	}
+	if len(s.rrPorts) != 0 {
+		t.Fatalf("rrPorts holds %d stale ports after all queues drained", len(s.rrPorts))
+	}
+	if len(s.ingress) != 0 {
+		t.Fatalf("ingress map holds %d stale entries after drain", len(s.ingress))
+	}
+}
+
+// TestRRFairnessAfterDrainRefill checks that round-robin fairness and
+// TotalBacklog stay correct across a port emptying and refilling: a
+// refilled port must re-enter the ring and share service with a port
+// that kept a standing backlog, instead of being starved or double
+// counted.
+func TestRRFairnessAfterDrainRefill(t *testing.T) {
+	eng := simNew()
+	servedBy := map[uint32]int{}
+	s := newScheduler(eng, 1000, func(r *flowReq) { servedBy[r.port]++ })
+
+	// Port 1 keeps a deep standing backlog; port 2 submits a small
+	// burst, drains, then refills while port 1 is still backed up.
+	for i := 0; i < 400; i++ {
+		s.SubmitIngress(1, &flowReq{port: 1})
+	}
+	for i := 0; i < 5; i++ {
+		s.SubmitIngress(2, &flowReq{port: 2})
+	}
+	eng.RunUntil(100 * time.Millisecond) // ~100 serves: port 2 drained
+	if got := s.IngressLen(2); got != 0 {
+		t.Fatalf("port 2 backlog = %d, want drained", got)
+	}
+	const refill = 50
+	for i := 0; i < refill; i++ {
+		s.SubmitIngress(2, &flowReq{port: 2})
+	}
+	if want := s.IngressLen(1) + s.IngressLen(2); s.TotalBacklog() != want {
+		t.Fatalf("TotalBacklog = %d, want %d", s.TotalBacklog(), want)
+	}
+	mark1 := servedBy[1]
+	eng.RunUntil(200 * time.Millisecond) // ~100 more serves, shared
+	d1, d2 := servedBy[1]-mark1, refill-s.IngressLen(2)
+	if d2 == 0 {
+		t.Fatal("refilled port 2 starved after re-entering the ring")
+	}
+	// Fair round-robin over two active ports serves them ~1:1 while
+	// both have backlog; allow slack for port 2 finishing its 50.
+	if d1 == 0 || d1 > d2*3 {
+		t.Fatalf("unfair service after refill: port1 %d vs port2 %d", d1, d2)
+	}
+	eng.RunUntil(2 * time.Second)
+	if s.TotalBacklog() != 0 || len(s.rrPorts) != 0 {
+		t.Fatalf("backlog %d / rrPorts %d after final drain",
+			s.TotalBacklog(), len(s.rrPorts))
+	}
+}
+
+// TestFIFOIngressAccounting is the regression test for the FIFO-mode
+// IngressLen bug: the per-port count was adjusted inside the deferred
+// job closure and zeroed entries were never pruned, so the count map
+// grew one stale entry per distinct port forever. The fixed accounting
+// decrements at pop time (like the priority path) and deletes zeroed
+// entries; the count must never be negative at any observation point.
+func TestFIFOIngressAccounting(t *testing.T) {
+	eng := simNew()
+	var s *installScheduler
+	s = newScheduler(eng, 10000, func(r *flowReq) {
+		if got := s.IngressLen(r.port); got < 0 {
+			t.Fatalf("IngressLen(%d) = %d during service", r.port, got)
+		}
+	})
+	s.fifoMode = true
+	const churn = 300
+	for p := uint32(1); p <= churn; p++ {
+		port := p
+		eng.Schedule(time.Duration(p)*time.Millisecond, func() {
+			s.SubmitIngress(port, &flowReq{port: port})
+			if got := s.IngressLen(port); got < 1 {
+				t.Fatalf("IngressLen(%d) = %d right after submit", port, got)
+			}
+		})
+	}
+	eng.RunUntil(2 * time.Second)
+	if s.TotalBacklog() != 0 {
+		t.Fatalf("TotalBacklog = %d after drain", s.TotalBacklog())
+	}
+	for p := uint32(1); p <= churn; p++ {
+		if got := s.IngressLen(p); got != 0 {
+			t.Fatalf("IngressLen(%d) = %d after drain", p, got)
+		}
+	}
+	if len(s.ingressCount) != 0 {
+		t.Fatalf("ingressCount holds %d stale entries after drain", len(s.ingressCount))
+	}
+}

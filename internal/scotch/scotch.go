@@ -1,6 +1,7 @@
 package scotch
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -55,6 +56,10 @@ type Config struct {
 	// RuleIdleTimeout is applied to per-flow rules everywhere.
 	RuleIdleTimeout time.Duration
 
+	// DrainTimeout bounds how long DrainVSwitch waits for a member's
+	// flow table to empty before tearing its tunnels down anyway.
+	DrainTimeout time.Duration
+
 	// Policy returns the middlebox chain a flow must traverse (nil for
 	// none); see AddMiddlebox.
 	Policy func(key netaddr.FlowKey) []string
@@ -96,6 +101,7 @@ func DefaultConfig() Config {
 		HeartbeatInterval:  500 * time.Millisecond,
 		HeartbeatMisses:    3,
 		RuleIdleTimeout:    10 * time.Second,
+		DrainTimeout:       30 * time.Second,
 	}
 }
 
@@ -113,6 +119,8 @@ type Stats struct {
 	Repairs          uint64 // mid-overlay misses repaired
 	FailoverSwaps    uint64 // dead vSwitches replaced
 	NoPath           uint64
+	VSwitchesAdded   uint64 // mesh members added to a running overlay
+	VSwitchesDrained uint64 // mesh members drained out of a running overlay
 }
 
 // protState is per-protected-switch activation state.
@@ -153,6 +161,10 @@ type App struct {
 	// owns, when set, restricts which punting switches this app instance
 	// handles (cluster sharding); nil handles everything.
 	owns func(dpid uint64) bool
+
+	// built flips once Build has run; AddVSwitch before it only records
+	// membership, after it the overlay is mutated live.
+	built bool
 
 	Stats Stats
 }
@@ -223,11 +235,41 @@ func (a *App) installDeadHook() {
 }
 
 // AddVSwitch adds a mesh member; backups only serve after a failover.
-func (a *App) AddVSwitch(dpid uint64, backup bool) {
+// Before Build it only records membership for the offline construction;
+// on a built overlay it extends the running mesh in place — tunnels,
+// select-group buckets, and chain plumbing — so the pool can grow under
+// load without a restart. The error is always nil pre-Build.
+func (a *App) AddVSwitch(dpid uint64, backup bool) error {
+	if a.built {
+		return a.ov.addLive(dpid, backup)
+	}
 	a.ov.vswitches = append(a.ov.vswitches, dpid)
 	if backup {
 		a.ov.backups[dpid] = true
 	}
+	return nil
+}
+
+// DrainVSwitch gracefully removes a mesh member from a built overlay:
+// the member immediately stops receiving new flow assignments, its
+// established flows migrate to physical paths (or idle out), and its
+// tunnels are torn down once its flow table empties or
+// Config.DrainTimeout passes. Draining the last live primary or a
+// chain-aggregation vSwitch is refused.
+func (a *App) DrainVSwitch(dpid uint64) error {
+	if !a.built {
+		return fmt.Errorf("scotch: overlay not built")
+	}
+	return a.ov.drain(dpid)
+}
+
+// Draining reports whether a mesh member is mid-drain.
+func (a *App) Draining(dpid uint64) bool { return a.ov.draining[dpid] }
+
+// MeshMembers returns the current mesh membership (primaries and
+// backups, in membership order). The returned slice is a copy.
+func (a *App) MeshMembers() []uint64 {
+	return append([]uint64(nil), a.ov.vswitches...)
 }
 
 // AssignHost maps a destination host to its local delivery vSwitch (and an
@@ -255,15 +297,16 @@ func (a *App) Build() error {
 	}
 	a.C.Eng.Every(a.Cfg.MonitorInterval, a.monitor)
 	a.C.Eng.Every(a.Cfg.StatsInterval, a.pollElephants)
-	var mesh []uint64
-	mesh = append(mesh, a.ov.vswitches...)
 	a.installDeadHook()
 	// The heartbeat acts through the app's *current* controller each tick,
 	// so after a Rebind probing continues from the new master and a dead
-	// replica's stale connection cannot poison liveness state.
+	// replica's stale connection cannot poison liveness state. Membership
+	// is re-read each tick: live-added members join the probe set and
+	// drained members leave it.
 	a.C.Eng.Every(a.Cfg.HeartbeatInterval, func() {
-		a.C.HeartbeatTick(mesh, a.Cfg.HeartbeatMisses)
+		a.C.HeartbeatTick(a.MeshMembers(), a.Cfg.HeartbeatMisses)
 	})
+	a.built = true
 	return nil
 }
 
