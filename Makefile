@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos cover clean
+.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf cover clean
 
 all: build test
 
@@ -57,6 +57,20 @@ bench-short:
 trace-sample:
 	$(GO) run ./cmd/scotchsim run fig14 -trace trace_fig14.json
 
+# Short fuzz pass over every native fuzz target (trace parsers and the
+# OpenFlow codec), a few seconds each; new findings land in the build cache,
+# reproducers in testdata/fuzz/.
+fuzz-short:
+	$(GO) test -run xxx -fuzz FuzzTraceCSV -fuzztime 5s ./internal/workload/
+	$(GO) test -run xxx -fuzz FuzzTraceJSONL -fuzztime 5s ./internal/workload/
+	$(GO) test -run xxx -fuzz FuzzMessageRoundTrip -fuzztime 5s ./internal/openflow/
+	$(GO) test -run xxx -fuzz FuzzMatchRoundTrip -fuzztime 5s ./internal/openflow/
+
+# Per-tenant flow-setup latency CDF table from the multi-tenant scenario
+# (the CI artifact proving the DDoS-isolation bound).
+scenario-cdf:
+	$(GO) run ./cmd/scotchsim run scenario-multitenant | tee scenario_multitenant.txt
+
 # Coverage over the deterministic packages, with a per-function summary.
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
@@ -65,4 +79,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out trace_fig14.json trace_chaos.json
+	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt

@@ -40,6 +40,12 @@ type Capture struct {
 	byKey   map[netaddr.FlowKey]*FlowRecord
 	latency map[string]*metrics.Histogram // per-class one-way packet delay
 	nextID  uint64
+
+	// OnFirstDelivery, when set, fires once per flow at the moment its
+	// first packet is delivered — the flow-setup completion event the
+	// scenario engine's latency trackers observe (now - f.FirstSent spans
+	// Packet-In → RuleApplied → Delivered).
+	OnFirstDelivery func(f *FlowRecord, now sim.Time)
 }
 
 // New returns an empty capture.
@@ -89,6 +95,9 @@ func (c *Capture) RecordRecv(pkt *packet.Packet, now sim.Time) {
 	if f := c.lookup(pkt); f != nil {
 		if f.PacketsRecv == 0 {
 			f.FirstRecv = now
+			if c.OnFirstDelivery != nil {
+				c.OnFirstDelivery(f, now)
+			}
 		}
 		f.PacketsRecv++
 		f.BytesRecv += uint64(pkt.Size)

@@ -13,7 +13,8 @@ import (
 // fastIDs are the experiments cheap enough to run repeatedly in the normal
 // test cycle (each well under ~5s). Set SCOTCH_DETERMINISM_ALL=1 to run the
 // properties over every registered experiment (several minutes).
-var fastIDs = []string{"table1", "fig4", "fig8", "fig9", "fig14", "elastic"}
+var fastIDs = []string{"table1", "fig4", "fig8", "fig9", "fig14", "elastic",
+	"scenario-multitenant", "scenario-fattree", "scenario-replay"}
 
 func determinismIDs(t *testing.T) []string {
 	t.Helper()

@@ -16,6 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 		"cluster-scale", "cluster-migrate", "cluster-failover",
 		"chaos-vswitch", "chaos-partition", "chaos-churn",
 		"elastic",
+		"scenario-multitenant", "scenario-fattree", "scenario-replay",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

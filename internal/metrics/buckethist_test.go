@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketHistogramEmpty(t *testing.T) {
+	h := NewBucketHistogram(nil)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Overflow() != 0 {
+		t.Fatalf("fresh histogram not zero: %s", h)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}
+
+func TestBucketHistogramSingleSample(t *testing.T) {
+	h := NewBucketHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	if h.Count() != 1 || h.Sum() != 1.5 || h.Mean() != 1.5 {
+		t.Fatalf("count/sum/mean = %d/%v/%v", h.Count(), h.Sum(), h.Mean())
+	}
+	// Every quantile of a single sample interpolates inside its (1, 2]
+	// bucket, landing on the upper edge (rank is clamped to >= 1 sample).
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 2 {
+			t.Errorf("Quantile(%v) = %v, want bucket edge 2", q, got)
+		}
+	}
+	// Negative and >1 q clamp rather than misbehave.
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(7) != h.Quantile(1) {
+		t.Error("out-of-range q not clamped")
+	}
+}
+
+func TestBucketHistogramOverflow(t *testing.T) {
+	h := NewBucketHistogram([]float64{1, 2})
+	h.Observe(100)
+	h.Observe(3)
+	h.Observe(0.5)
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+	// Overflowed samples clamp the quantile to the last bound — it must
+	// never extrapolate past the histogram's range.
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("p99 with overflow = %v, want clamp to 2", got)
+	}
+	counts := h.Counts()
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 0 || counts[2] != 2 {
+		t.Errorf("counts = %v, want [1 0 2]", counts)
+	}
+}
+
+func TestBucketHistogramBoundaryPlacement(t *testing.T) {
+	h := NewBucketHistogram([]float64{1, 2})
+	h.Observe(1) // exactly on a bound lands in that bucket (upper edge is inclusive)
+	h.Observe(2)
+	if c := h.Counts(); c[0] != 1 || c[1] != 1 || c[2] != 0 {
+		t.Errorf("boundary samples landed in %v, want [1 1 0]", c)
+	}
+}
+
+func TestBucketHistogramQuantileInterpolation(t *testing.T) {
+	h := NewBucketHistogram([]float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all in the (10, 20] bucket
+	}
+	// Rank q*100 interpolates linearly across the bucket: p50 → middle.
+	if got := h.Quantile(0.5); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p50 = %v, want 15", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-20) > 1e-9 {
+		t.Errorf("p100 = %v, want 20", got)
+	}
+	// First bucket interpolates from zero.
+	g := NewBucketHistogram([]float64{10, 20})
+	for i := 0; i < 10; i++ {
+		g.Observe(1)
+	}
+	if got := g.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Errorf("first-bucket p50 = %v, want 5", got)
+	}
+}
+
+func TestBucketHistogramMerge(t *testing.T) {
+	a := NewBucketHistogram([]float64{1, 2, 4})
+	b := NewBucketHistogram([]float64{1, 2, 4})
+	a.Observe(0.5)
+	a.Observe(3)
+	b.Observe(1.5)
+	b.Observe(100)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 4 {
+		t.Fatalf("merged count = %d, want 4", a.Count())
+	}
+	if math.Abs(a.Sum()-105) > 1e-9 {
+		t.Fatalf("merged sum = %v, want 105", a.Sum())
+	}
+	if a.Overflow() != 1 {
+		t.Fatalf("merged overflow = %d, want 1", a.Overflow())
+	}
+	// b is untouched.
+	if b.Count() != 2 {
+		t.Fatalf("merge mutated its source: count = %d", b.Count())
+	}
+	// Mismatched bounds are rejected, not silently mangled.
+	for _, other := range []*BucketHistogram{
+		NewBucketHistogram([]float64{1, 2}),
+		NewBucketHistogram([]float64{1, 2, 5}),
+	} {
+		if err := a.Merge(other); err == nil {
+			t.Error("merge of mismatched bounds accepted")
+		}
+	}
+}
+
+func TestBucketHistogramBadBounds(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"descending": {2, 1},
+		"duplicate":  {1, 1},
+		"nan":        {1, math.NaN()},
+		"inf":        {1, math.Inf(1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%v bounds accepted", name)
+				}
+			}()
+			NewBucketHistogram(bounds)
+		}()
+	}
+}
+
+func TestBucketHistogramObserveDuration(t *testing.T) {
+	h := NewBucketHistogram(nil)
+	h.ObserveDuration(150 * time.Millisecond)
+	if math.Abs(h.Sum()-0.15) > 1e-12 {
+		t.Errorf("duration sum = %v, want 0.15", h.Sum())
+	}
+	if h.Overflow() != 0 {
+		t.Error("150ms overflowed the default latency buckets")
+	}
+}
+
+// TestBucketHistogramConcurrent hammers Observe from many goroutines while
+// a reader scrapes quantiles and merges — run under -race this pins the
+// lock-free contract.
+func TestBucketHistogramConcurrent(t *testing.T) {
+	h := NewBucketHistogram([]float64{0.25, 0.5, 0.75, 1})
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent scraper
+		defer wg.Done()
+		agg := NewBucketHistogram([]float64{0.25, 0.5, 0.75, 1})
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = h.Quantile(0.99)
+			_ = h.Counts()
+			_ = h.Mean()
+			_ = agg.Merge(h)
+			_ = h.String()
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(float64(i%100) / 100)
+			}
+		}(w)
+	}
+	// Wait for writers by counting total; then release the scraper.
+	for h.Count() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if h.Count() != writers*perWriter {
+		t.Fatalf("count = %d, want %d", h.Count(), writers*perWriter)
+	}
+	var n uint64
+	for _, c := range h.Counts() {
+		n += c
+	}
+	if n != writers*perWriter {
+		t.Fatalf("bucket counts sum to %d, want %d", n, writers*perWriter)
+	}
+}
+
+// TestLatencyBucketsShape pins the default bucket layout the scenario
+// experiments report against.
+func TestLatencyBucketsShape(t *testing.T) {
+	b := LatencyBuckets()
+	if len(b) != 37 {
+		t.Fatalf("default buckets = %d, want 37", len(b))
+	}
+	if b[0] != 1e-5 || b[len(b)-1] != 10 {
+		t.Fatalf("bucket range [%v, %v], want [1e-5, 10]", b[0], b[len(b)-1])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package netaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Prefix is an IPv4 CIDR prefix: the address plan of a tenant or of a whole
+// fabric. A /12 already spans 2^20 > 10^6 addresses, which is how the
+// scenario engine addresses a million hosts without instantiating them:
+// sources are drawn from a prefix, and only the hosts an experiment
+// actually attaches exist as simulated devices.
+type Prefix struct {
+	IP   IPv4 // canonical base: host bits are zero
+	Bits int  // prefix length, 0..32
+}
+
+// MakePrefix returns the prefix of the given length containing ip; host
+// bits of ip are masked off. It panics on an out-of-range length.
+func MakePrefix(ip IPv4, bits int) Prefix {
+	if bits < 0 || bits > 32 {
+		panic(fmt.Sprintf("netaddr: invalid prefix length %d", bits))
+	}
+	return Prefix{IP: IPv4(uint32(ip) & maskOf(bits)), Bits: bits}
+}
+
+// ParsePrefix parses "a.b.c.d/len" notation.
+func ParsePrefix(s string) (Prefix, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix %q", s)
+	}
+	ip, err := ParseIPv4(s[:i])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix %q", s)
+	}
+	bits, err := strconv.Atoi(s[i+1:])
+	if err != nil || bits < 0 || bits > 32 {
+		return Prefix{}, fmt.Errorf("netaddr: invalid prefix %q", s)
+	}
+	return MakePrefix(ip, bits), nil
+}
+
+// MustParsePrefix is ParsePrefix that panics on error, for literals.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func maskOf(bits int) uint32 {
+	if bits == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - bits)
+}
+
+// Mask returns the prefix's netmask in host order.
+func (p Prefix) Mask() uint32 { return maskOf(p.Bits) }
+
+// NumAddrs returns the number of addresses the prefix spans (2^(32-Bits)).
+func (p Prefix) NumAddrs() uint64 { return 1 << (32 - p.Bits) }
+
+// Addr returns the i-th address of the prefix; i wraps modulo NumAddrs, so
+// a counter can walk the space forever (the DDoS spoofed-source walk).
+func (p Prefix) Addr(i uint64) IPv4 {
+	host := uint32(i & (p.NumAddrs() - 1))
+	return IPv4(uint32(p.IP) | host)
+}
+
+// Contains reports whether ip falls inside the prefix.
+func (p Prefix) Contains(ip IPv4) bool { return ip.In(p.IP, p.Mask()) }
+
+// String returns CIDR notation.
+func (p Prefix) String() string { return fmt.Sprintf("%v/%d", p.IP, p.Bits) }

@@ -1,0 +1,70 @@
+package netaddr
+
+import "testing"
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("10.0.0.0/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("String() = %q", p.String())
+	}
+	if p.NumAddrs() != 1<<24 {
+		t.Errorf("NumAddrs() = %d, want 2^24", p.NumAddrs())
+	}
+	// Host bits are masked off to the canonical base.
+	q := MustParsePrefix("172.17.3.9/12")
+	if q.IP != MakeIPv4(172, 16, 0, 0) {
+		t.Errorf("base = %v, want 172.16.0.0", q.IP)
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1", "300.0.0.0/8", "10.0.0.0/x"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPrefixMillionAddressable pins the scenario-engine scale requirement:
+// a /12 spoofing prefix and the fabric /8 both span more than a million
+// distinct addresses, and the indexed walk visits them without collision
+// at the wrap boundary.
+func TestPrefixMillionAddressable(t *testing.T) {
+	p := MustParsePrefix("172.16.0.0/12")
+	if p.NumAddrs() < 1_000_000 {
+		t.Fatalf("/12 spans %d addrs, want >= 1e6", p.NumAddrs())
+	}
+	if p.Addr(0) != p.IP {
+		t.Errorf("Addr(0) = %v, want base %v", p.Addr(0), p.IP)
+	}
+	if p.Addr(p.NumAddrs()) != p.Addr(0) {
+		t.Errorf("walk does not wrap at NumAddrs")
+	}
+	if p.Addr(1) == p.Addr(2) {
+		t.Errorf("adjacent walk steps collide")
+	}
+	last := p.Addr(p.NumAddrs() - 1)
+	if !p.Contains(last) {
+		t.Errorf("last address %v escapes the prefix", last)
+	}
+	if p.Contains(MakeIPv4(172, 32, 0, 0)) {
+		t.Errorf("address outside the /12 reported as contained")
+	}
+}
+
+func TestPrefixExtremes(t *testing.T) {
+	all := MakePrefix(0, 0)
+	if all.NumAddrs() != 1<<32 {
+		t.Errorf("/0 spans %d", all.NumAddrs())
+	}
+	if !all.Contains(MakeIPv4(255, 255, 255, 255)) {
+		t.Error("/0 must contain everything")
+	}
+	one := MakePrefix(MakeIPv4(1, 2, 3, 4), 32)
+	if one.NumAddrs() != 1 {
+		t.Errorf("/32 spans %d", one.NumAddrs())
+	}
+	if one.Addr(7) != MakeIPv4(1, 2, 3, 4) {
+		t.Errorf("/32 walk must stay on its single address")
+	}
+}

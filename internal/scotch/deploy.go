@@ -51,3 +51,53 @@ func NewLeafSpineDeployment(ls *topo.LeafSpine, lsCfg topo.LeafSpineConfig, cfg 
 	}
 	return c, app, nil
 }
+
+// DeployFatTree wires a Scotch app over a fat-tree fabric built by
+// topo.NewFatTree, following the same per-rack guidance as DeployLeafSpine:
+// every pod's vSwitch pool joins the mesh, hosts deliver through a vSwitch
+// of their own pod (spread round-robin, with the pod's next vSwitch as
+// backup when the pool has more than one), and every edge (ToR) switch is
+// protected on its aggregation uplinks and host ports. The caller still
+// runs Connect/Build.
+func DeployFatTree(app *App, ft *topo.FatTree) {
+	for _, vs := range ft.VSwitches {
+		app.AddVSwitch(vs.DPID, false)
+	}
+	per := ft.Cfg.VSwitchesPerPod
+	for p, hosts := range ft.Hosts {
+		pool := ft.PodVSwitches(p)
+		for i, h := range hosts {
+			primary := pool[i%per].DPID
+			var backup uint64
+			if per > 1 {
+				backup = pool[(i+1)%per].DPID
+			}
+			app.AssignHost(h.IP, primary, backup)
+		}
+	}
+	// Edge ports are allocated uplinks-first (k/2 aggs), then hosts; the
+	// vSwitch attachments that follow stay unprotected, as on leaf-spine.
+	uplinks := ft.Cfg.K / 2
+	for _, edges := range ft.Edge {
+		for _, ed := range edges {
+			var ports []uint32
+			for pt := uint32(1); pt <= uint32(uplinks+ft.Cfg.HostsPerEdge); pt++ {
+				ports = append(ports, pt)
+			}
+			app.Protect(ed.DPID, ports...)
+		}
+	}
+}
+
+// NewFatTreeDeployment is the one-call variant of DeployFatTree: it
+// creates the controller and app, deploys, connects, and builds.
+func NewFatTreeDeployment(ft *topo.FatTree, cfg Config) (*controller.Controller, *App, error) {
+	c := controller.New(ft.Net.Eng, ft.Net)
+	app := New(c, cfg)
+	DeployFatTree(app, ft)
+	c.ConnectAll()
+	if err := app.Build(); err != nil {
+		return nil, nil, err
+	}
+	return c, app, nil
+}
