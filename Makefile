@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf cover clean
+.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf devolve cover clean
 
 all: build test
 
@@ -24,15 +24,17 @@ vet:
 	$(GO) vet ./...
 
 # Documentation gate: every internal package needs a package comment, and
-# the scotch/cluster/fault packages need docs on every exported symbol.
+# the scotch/cluster/devolve/elastic/fault packages need docs on every
+# exported symbol.
 doclint:
 	$(GO) run ./cmd/doclint
 
 # The chaos experiments (§5 reliability mechanisms under injected faults)
-# plus the elastic autoscaler cycle, which exercises the same live-mutation
-# paths from the control-loop side.
+# plus the elastic autoscaler cycle and the devolution invalidation run,
+# which exercise the same live-mutation paths from the control-loop and
+# policy-distribution sides.
 chaos:
-	$(GO) run ./cmd/scotchsim run chaos-vswitch chaos-partition chaos-churn elastic
+	$(GO) run ./cmd/scotchsim run chaos-vswitch chaos-partition chaos-churn elastic devolve-invalidate
 
 # Chaos + elastic trace artifact: fault and resize marks with control-path
 # spans for the fast experiments (Chrome trace-event JSON).
@@ -50,7 +52,7 @@ bench-report:
 
 # CI-sized bench report: the fastest experiments only, same JSON schema.
 bench-short:
-	$(GO) run ./cmd/scotchsim bench -out BENCH_scotch.json fig14 fig4 table1 cluster-scale
+	$(GO) run ./cmd/scotchsim bench -out BENCH_scotch.json fig14 fig4 table1 cluster-scale devolve-ablation devolve-invalidate
 
 # Sample control-path trace (Chrome trace-event JSON, loadable in
 # chrome://tracing / Perfetto).
@@ -71,6 +73,11 @@ fuzz-short:
 scenario-cdf:
 	$(GO) run ./cmd/scotchsim run scenario-multitenant | tee scenario_multitenant.txt
 
+# Devolution ablation + invalidation tables (the CI artifact proving the
+# pool-factor Packet-In reduction and the no-stale-policy invariants).
+devolve:
+	$(GO) run ./cmd/scotchsim run devolve-ablation devolve-invalidate | tee devolve_ablation.txt
+
 # Coverage over the deterministic packages, with a per-function summary.
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
@@ -79,4 +86,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt
+	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt devolve_ablation.txt

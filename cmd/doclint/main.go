@@ -29,6 +29,7 @@ import (
 var strictPkgs = map[string]bool{
 	"internal/scotch":  true,
 	"internal/cluster": true,
+	"internal/devolve": true,
 	"internal/elastic": true,
 	"internal/fault":   true,
 }

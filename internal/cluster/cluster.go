@@ -22,6 +22,15 @@ type PodApp interface {
 	SetOwner(func(dpid uint64) bool)
 }
 
+// PolicyPusher is optionally implemented by pod apps that devolve policy
+// to switch-resident caches (the Scotch app's control devolution). The
+// coordinator calls RepublishPolicy once a migration's role handoff is
+// barrier-confirmed, so every cache is re-fed — generation-fenced — by
+// the new master and stale policy from the old one is invalidated.
+type PolicyPusher interface {
+	RepublishPolicy()
+}
+
 // Config tunes the coordinator.
 type Config struct {
 	// HeartbeatInterval and HeartbeatMisses govern replica failure
@@ -309,8 +318,18 @@ func (co *Coordinator) migrate(p *Pod, to *Replica, failover bool) {
 			pending--
 			if pending == 0 {
 				co.Stats.HandoffDoneAt = co.Eng.Now()
+				if pp, ok := p.App.(PolicyPusher); ok {
+					pp.RepublishPolicy()
+				}
 			}
 		})
+	}
+	if pending == 0 {
+		// No switch handles on the target yet (e.g. all dead): still
+		// refresh devolved policy through whatever masters remain.
+		if pp, ok := p.App.(PolicyPusher); ok {
+			pp.RepublishPolicy()
+		}
 	}
 	if failover {
 		co.Stats.Failovers++

@@ -295,3 +295,37 @@ func TestBalancerMigratesHotPod(t *testing.T) {
 		t.Fatalf("light pod owner = %d, want to stay put", got)
 	}
 }
+
+// pusherApp is a reactiveApp that also devolves policy: the coordinator
+// must call RepublishPolicy once a migration's role handoff completes,
+// so switch-resident caches are re-fed by the new master.
+type pusherApp struct {
+	reactiveApp
+	republished int
+}
+
+func (p *pusherApp) RepublishPolicy() { p.republished++ }
+
+func TestMigrationRepublishesDevolvedPolicy(t *testing.T) {
+	rg := newTwoShardRig(t, DefaultConfig())
+	app := &pusherApp{reactiveApp: *rg.apps[0]}
+	// Swap the pod's app for the policy-pushing variant.
+	rg.co.byName["pod-a"].App = app
+
+	rg.co.Migrate("pod-a", rg.r[1])
+	if app.republished != 0 {
+		t.Fatal("policy republished before the role handoff was confirmed")
+	}
+	rg.eng.RunUntil(300 * time.Millisecond)
+	if app.republished != 1 {
+		t.Fatalf("republished = %d, want 1 (after barrier-confirmed handoff)", app.republished)
+	}
+
+	// A pod without PolicyPusher must keep migrating fine (interface is
+	// optional): move pod-b cooperatively too.
+	rg.co.Migrate("pod-b", rg.r[0])
+	rg.eng.RunUntil(600 * time.Millisecond)
+	if rg.co.Stats.Migrations != 2 {
+		t.Fatalf("Migrations = %d, want 2", rg.co.Stats.Migrations)
+	}
+}

@@ -49,6 +49,9 @@ type Stats struct {
 	// SlaveSuppressed counts writes locally suppressed because this
 	// controller's connection to the switch is in the slave role.
 	SlaveSuppressed uint64
+	// PolicyPushes counts devolution policy tables pushed to
+	// switch-resident caches (see PushPolicy).
+	PolicyPushes uint64
 }
 
 // SwitchHandle is the controller's per-switch state.
@@ -269,6 +272,19 @@ func (h *SwitchHandle) slave() bool {
 	}
 	h.ctrl.Stats.SlaveSuppressed++
 	return true
+}
+
+// PushPolicy delivers a devolution policy update to a cache resident on
+// the switch: apply runs after the switch's control-channel delay, as a
+// FlowMod would. Slave connections suppress the push (same fencing as
+// InstallFlow), so after a migration only the new master can update the
+// switch's policy cache.
+func (h *SwitchHandle) PushPolicy(apply func()) {
+	if h.slave() {
+		return
+	}
+	h.ctrl.Stats.PolicyPushes++
+	h.ctrl.Eng.Schedule(h.Dev.Profile.CtrlDelay, apply)
 }
 
 // InstallFlow sends a FlowMod to the switch.

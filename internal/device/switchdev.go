@@ -31,8 +31,22 @@ type SwitchStats struct {
 	InsertQueueDrop uint64 // FlowMods lost to OFA queue overflow
 	TableFull       uint64 // inserts rejected by TCAM capacity
 
+	LocalHandled uint64 // table misses absorbed by the local agent
+
 	SlaveDenied uint64 // writes rejected because the connection is a slave
 	RoleStale   uint64 // role claims fenced off by the generation check
+}
+
+// LocalAgent is a switch-resident control element consulted on every
+// table miss before the miss is queued for Packet-In emission. If
+// HandleMiss returns true the agent has disposed of the packet locally
+// (typically forwarding it via ForwardLocal and installing a rule via
+// InstallLocal) and no Packet-In is generated; returning false escalates
+// the miss to the controller as usual. The devolve package implements
+// this with a per-tenant policy cache. Agents run inline on the data
+// plane's event-loop service slot, so they must not block.
+type LocalAgent interface {
+	HandleMiss(pkt *packet.Packet, inPort uint32) bool
 }
 
 // Switch is a simulated OpenFlow switch: a data plane driven by a flow
@@ -65,6 +79,7 @@ type Switch struct {
 	failed   bool
 	trace    *telemetry.Tracer
 	chFaults *fault.ChannelFaults
+	local    LocalAgent // nil = every miss escalates to the controller
 
 	Stats SwitchStats
 
@@ -222,6 +237,49 @@ func (sw *Switch) Restart() {
 // message.
 func (sw *Switch) SetChannelFaults(cf *fault.ChannelFaults) { sw.chFaults = cf }
 
+// SetLocalAgent attaches (or, with nil, detaches) a local control agent
+// consulted on every table miss. The disabled path costs one nil check
+// and zero allocations.
+func (sw *Switch) SetLocalAgent(a LocalAgent) { sw.local = a }
+
+// LocalAgentAttached reports whether a local agent is consulted on misses.
+func (sw *Switch) LocalAgentAttached() bool { return sw.local != nil }
+
+// InstallLocal queues a FlowMod originated by the switch's own local
+// agent through the OFA's paced rule-install stage, so locally devolved
+// rules contend for the same insertion budget as controller installs.
+// applied, when non-nil, runs once the rule has actually landed in (or
+// been deleted from) the table. No controller connection is involved and
+// errors are swallowed, as for a process-internal caller.
+func (sw *Switch) InstallLocal(fm *openflow.FlowMod, applied func()) {
+	if sw.failed {
+		return
+	}
+	sw.ruleSrv.Submit(ruleItem{conn: -1, fm: fm, applied: applied})
+	sw.updateRuleRate()
+}
+
+// ForwardLocal emits a packet decided by the local agent through the
+// normal action-execution path (group expansion, capture hooks, port
+// transmit included), as if a rule had matched it.
+func (sw *Switch) ForwardLocal(pkt *packet.Packet, inPort uint32, actions []openflow.Action) {
+	if sw.failed {
+		return
+	}
+	sw.Stats.DataForwarded++
+	sw.execute(pkt, inPort, actions)
+}
+
+// PuntLocal re-enters a packet into the OFA's Packet-In stage as if it
+// had just missed: the local agent uses it to escalate a flow it had
+// been handling locally (e.g. a detected elephant) to the controller.
+func (sw *Switch) PuntLocal(pkt *packet.Packet, inPort uint32) {
+	if sw.failed {
+		return
+	}
+	sw.pktInSrv.Submit(dataItem{pkt: pkt, port: &Port{ID: inPort, Owner: sw}})
+}
+
 // Receive implements Node: a packet arrives on a data port.
 func (sw *Switch) Receive(pkt *packet.Packet, port *Port) {
 	if sw.failed {
@@ -247,6 +305,13 @@ func (sw *Switch) processData(it dataItem) {
 	res := sw.Pipeline.Process(it.pkt, it.port.ID, now)
 	if res.Miss {
 		sw.Stats.Misses++
+		// A local agent (control devolution) may absorb the miss without
+		// involving the controller; with none attached this is one nil
+		// check on the hot path.
+		if sw.local != nil && sw.local.HandleMiss(it.pkt, it.port.ID) {
+			sw.Stats.LocalHandled++
+			return
+		}
 		sw.pktInSrv.Submit(it) // OFA Packet-In generation is rate limited
 		return
 	}
@@ -419,11 +484,14 @@ type barrierMarker struct {
 }
 
 // ruleItem is a FlowMod queued at the OFA, tagged with its originating
-// connection so errors can be routed back to the sender.
+// connection so errors can be routed back to the sender. conn -1 marks a
+// local-agent install (no connection; applied, when set, runs after the
+// mod takes effect).
 type ruleItem struct {
-	conn int
-	xid  uint32
-	fm   *openflow.FlowMod
+	conn    int
+	xid     uint32
+	fm      *openflow.FlowMod
+	applied func()
 }
 
 func (sw *Switch) handleControl(connID int, b []byte) {
@@ -560,11 +628,17 @@ func (sw *Switch) processRule(v any) {
 					sw.trace.Point(telemetry.PointRuleApplied, key, sw.DPID, now)
 				}
 			}
+			if it.applied != nil {
+				it.applied()
+			}
 		case openflow.FlowDelete, openflow.FlowDeleteStrict:
 			removed := tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
 			sw.Stats.RulesDeleted += uint64(len(removed))
 			for _, r := range removed {
 				sw.notifyRemoved(r, openflow.RemovedDelete, now)
+			}
+			if it.applied != nil {
+				it.applied()
 			}
 		}
 	}

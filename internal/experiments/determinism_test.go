@@ -14,7 +14,8 @@ import (
 // test cycle (each well under ~5s). Set SCOTCH_DETERMINISM_ALL=1 to run the
 // properties over every registered experiment (several minutes).
 var fastIDs = []string{"table1", "fig4", "fig8", "fig9", "fig14", "elastic",
-	"scenario-multitenant", "scenario-fattree", "scenario-replay"}
+	"scenario-multitenant", "scenario-fattree", "scenario-replay",
+	"devolve-ablation", "devolve-invalidate"}
 
 func determinismIDs(t *testing.T) []string {
 	t.Helper()

@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"chaos-vswitch", "chaos-partition", "chaos-churn",
 		"elastic",
 		"scenario-multitenant", "scenario-fattree", "scenario-replay",
+		"devolve-ablation", "devolve-invalidate",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -1,0 +1,68 @@
+package scotch
+
+import (
+	"testing"
+
+	"scotch/internal/controller"
+	"scotch/internal/netaddr"
+	"scotch/internal/openflow"
+)
+
+// elephantFixture plants one overlay flow in the FlowDB and feeds
+// handleStats a crafted stats reply for it, returning whether the flow
+// was elected for migration.
+func elephantFixture(t *testing.T, cfg Config, packets, bytes uint64) bool {
+	t.Helper()
+	f := newFixture(t, cfg, 2, 0)
+	key := netaddr.FlowKey{
+		Src: f.client.IP, Dst: f.server.IP,
+		Proto: netaddr.ProtoTCP, SrcPort: 4000, DstPort: 80,
+	}
+	f.c.FlowDB.Put(&controller.FlowInfo{
+		Key: key, FirstHop: f.edge.DPID, IngressPort: 2,
+		OnOverlay: true, OverlayVSwitch: f.vs[0].DPID,
+	})
+	f.app.handleStats(&openflow.MultipartReply{
+		MPType: openflow.MultipartFlow,
+		Flows: []openflow.FlowStats{{
+			TableID: 0, PacketCount: packets, ByteCount: bytes,
+			Match: exactMatch(key),
+		}},
+	})
+	return f.app.migrating[key]
+}
+
+// TestElephantDetectsHighPacketCount is the §5.3 regression test: the
+// large-flow identifier must select flows "with high packet counts",
+// not only high byte counts. Before Config.ElephantPackets existed,
+// handleStats compared ByteCount alone and this test failed.
+func TestElephantDetectsHighPacketCount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ElephantBytes = 1 << 30 // unreachable: only the packet count can elect
+	cfg.ElephantPackets = 100
+	if !elephantFixture(t, cfg, 150, 500) {
+		t.Fatal("flow with 150 packets (threshold 100) not elected for migration")
+	}
+}
+
+// TestElephantPacketThresholdDefaultOff pins backward compatibility:
+// with ElephantPackets at its zero default, packet counts alone must
+// not elect a flow, so pre-existing byte-only deployments (and every
+// prior experiment output) are unchanged.
+func TestElephantPacketThresholdDefaultOff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ElephantBytes = 1 << 30
+	if elephantFixture(t, cfg, 1<<20, 500) {
+		t.Fatal("packet count elected a flow with ElephantPackets=0 (default off)")
+	}
+}
+
+// TestElephantByteThresholdStillWorks guards the original byte-count
+// path alongside the new predicate.
+func TestElephantByteThresholdStillWorks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ElephantPackets = 1 << 30
+	if !elephantFixture(t, cfg, 3, cfg.ElephantBytes+1) {
+		t.Fatal("flow over the byte threshold not elected for migration")
+	}
+}

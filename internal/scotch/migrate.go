@@ -209,7 +209,12 @@ func (a *App) pollElephants() {
 func (a *App) handleStats(rep *openflow.MultipartReply) {
 	for i := range rep.Flows {
 		f := &rep.Flows[i]
-		if f.ByteCount < a.Cfg.ElephantBytes {
+		// §5.3 selects on "high packet counts"; byte count catches bulk
+		// transfers with large packets. Either threshold elects the flow
+		// (the packet threshold is off at 0).
+		big := f.ByteCount >= a.Cfg.ElephantBytes ||
+			(a.Cfg.ElephantPackets > 0 && f.PacketCount >= a.Cfg.ElephantPackets)
+		if !big {
 			continue
 		}
 		key, ok := keyFromMatch(&f.Match)

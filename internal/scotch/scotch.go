@@ -11,6 +11,7 @@ import (
 	"scotch/internal/netaddr"
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
+	"scotch/internal/sim"
 	"scotch/internal/telemetry"
 	"scotch/internal/topo"
 )
@@ -40,9 +41,13 @@ type Config struct {
 	DeactivateChecks int
 	MonitorInterval  time.Duration
 
-	// Elephant migration.
-	StatsInterval time.Duration
-	ElephantBytes uint64
+	// Elephant migration (§5.3): a flow is an elephant once its byte
+	// count crosses ElephantBytes, or — when ElephantPackets is non-zero
+	// — once its packet count crosses ElephantPackets. The packet
+	// threshold defaults to off so byte-only deployments are unchanged.
+	StatsInterval   time.Duration
+	ElephantBytes   uint64
+	ElephantPackets uint64
 
 	// Overlay plumbing.
 	TunnelType device.TunnelType
@@ -143,7 +148,8 @@ type flowReq struct {
 	origin uint64 // first-hop physical switch
 	port   uint32 // ingress port at the origin
 	punter *controller.SwitchHandle
-	data   []byte // the first packet, as carried in the Packet-In
+	data   []byte   // the first packet, as carried in the Packet-In
+	at     sim.Time // punt arrival, for central setup-latency attribution
 }
 
 // App is the Scotch controller application.
@@ -165,6 +171,11 @@ type App struct {
 	// built flips once Build has run; AddVSwitch before it only records
 	// membership, after it the overlay is mutated live.
 	built bool
+
+	// devo, when non-nil, is the control-devolution state: per-member
+	// policy caches plus the tenant policies and generation counter the
+	// controller distributes to them.
+	devo *devolution
 
 	Stats Stats
 }
@@ -206,6 +217,9 @@ func (a *App) BindMetrics(reg *telemetry.Registry) {
 		}
 		return float64(total)
 	})
+	if a.devo != nil {
+		a.devo.metrics.Bind(reg)
+	}
 }
 
 // SetOwner restricts the app to punts from switches fn claims; punts from
@@ -228,6 +242,9 @@ func (a *App) installDeadHook() {
 	prevDead := a.C.OnSwitchDead
 	a.C.OnSwitchDead = func(h *controller.SwitchHandle) {
 		a.ov.failover(h.DPID)
+		// A dead mesh member's policy cache is gone with it; rebuild the
+		// survivors' tables (delivery routes may have re-homed to backups).
+		a.devoDropMember(h.DPID)
 		if prevDead != nil {
 			prevDead(h)
 		}
@@ -241,7 +258,15 @@ func (a *App) installDeadHook() {
 // load without a restart. The error is always nil pre-Build.
 func (a *App) AddVSwitch(dpid uint64, backup bool) error {
 	if a.built {
-		return a.ov.addLive(dpid, backup)
+		if err := a.ov.addLive(dpid, backup); err != nil {
+			return err
+		}
+		// A joining member receives the current policy table immediately
+		// (tentpole: new members must not escalate what peers devolve),
+		// and existing members learn any routes that moved to it.
+		a.devoAttach(dpid)
+		a.RepublishPolicy()
+		return nil
 	}
 	a.ov.vswitches = append(a.ov.vswitches, dpid)
 	if backup {
@@ -260,7 +285,14 @@ func (a *App) DrainVSwitch(dpid uint64) error {
 	if !a.built {
 		return fmt.Errorf("scotch: overlay not built")
 	}
-	return a.ov.drain(dpid)
+	if err := a.ov.drain(dpid); err != nil {
+		return err
+	}
+	// A draining member flushes its policy cache (its locally devolved
+	// rules delete, so the drain's table-empty poll can complete) and the
+	// survivors learn the re-homed delivery routes.
+	a.devoDropMember(dpid)
+	return nil
 }
 
 // Draining reports whether a mesh member is mid-drain.
@@ -307,6 +339,14 @@ func (a *App) Build() error {
 		a.C.HeartbeatTick(a.MeshMembers(), a.Cfg.HeartbeatMisses)
 	})
 	a.built = true
+	if a.devo != nil {
+		// Devolution enabled before Build: attach caches now that the
+		// mesh exists and publish the initial policy table.
+		for _, dpid := range a.MeshMembers() {
+			a.devoAttach(dpid)
+		}
+		a.RepublishPolicy()
+	}
 	return nil
 }
 
@@ -362,6 +402,10 @@ func (a *App) monitor() {
 		if direct := h.PacketInRate.Rate(now); direct > rate {
 			rate = direct
 		}
+		// Devolution hides locally absorbed misses from both signals
+		// above; add them back so the overlay neither withdraws under
+		// load the caches are carrying nor misses an activation.
+		rate += a.devoOriginRate(dpid, now)
 		switch {
 		case !st.active && rate > a.Cfg.ActivateRate:
 			st.belowCount = 0
@@ -424,7 +468,8 @@ func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn
 	}
 
 	a.Stats.Requests++
-	req := &flowReq{key: key, origin: origin, port: port, punter: punter, data: pin.Data}
+	req := &flowReq{key: key, origin: origin, port: port, punter: punter,
+		data: pin.Data, at: a.C.Eng.Now()}
 
 	group := port
 	if a.Cfg.GroupBy != nil {
@@ -513,6 +558,7 @@ func (a *App) admitPhysical(r *flowReq) {
 		}
 	}
 	a.Stats.PhysicalAdmitted++
+	a.devoObserveCentral(r)
 	if tr := a.C.Tracer(); tr != nil {
 		tr.PointTag(telemetry.PointInstall, r.key, r.origin, a.C.Eng.Now(), "physical")
 	}
@@ -571,6 +617,7 @@ func (a *App) admitOverlay(r *flowReq) {
 		return
 	}
 	a.Stats.OverlayRouted++
+	a.devoObserveCentral(r)
 	if tr := a.C.Tracer(); tr != nil {
 		tr.PointTag(telemetry.PointInstall, r.key, r.origin, a.C.Eng.Now(), "overlay")
 	}
