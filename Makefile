@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf devolve cover clean
+.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf devolve obs cover clean
 
 all: build test
 
@@ -78,6 +78,12 @@ scenario-cdf:
 devolve:
 	$(GO) run ./cmd/scotchsim run devolve-ablation devolve-invalidate | tee devolve_ablation.txt
 
+# Observatory health digest for the SLO burn experiment (the CI artifact
+# proving the healthy -> burning -> healthy verdict cycle), as text and
+# as the health_obs_slo.json machine-readable digest.
+obs:
+	$(GO) run ./cmd/scotchsim run obs-slo -health -health-json health_obs_slo.json | tee obs_slo.txt
+
 # Coverage over the deterministic packages, with a per-function summary.
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
@@ -86,4 +92,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt devolve_ablation.txt
+	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt devolve_ablation.txt obs_slo.txt health_obs_slo.json

@@ -32,6 +32,7 @@ var strictPkgs = map[string]bool{
 	"internal/devolve": true,
 	"internal/elastic": true,
 	"internal/fault":   true,
+	"internal/obs":     true,
 }
 
 func main() {

@@ -42,6 +42,8 @@ func main() {
 	inject := flag.Int("inject", 0, "number of synthetic flows to inject after connecting")
 	fallbackPort := flag.Uint("fallback-port", 0, "forward table misses out this port while the controller is unreachable (0 disables)")
 	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction sampling denominator (0 leaves mutex profiling off)")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate nanosecond threshold (0 leaves block profiling off)")
 	flag.Parse()
 
 	ls := ofnet.NewLiveSwitch(*dpid, 2)
@@ -49,6 +51,7 @@ func main() {
 		ls.SetDefaultActions(openflow.OutputAction(uint32(*fallbackPort)))
 	}
 	if *telAddr != "" {
+		telemetry.EnableContentionProfiling(*mutexFrac, *blockRate)
 		reg := telemetry.NewRegistry()
 		ls.BindMetrics(reg)
 		tel, err := telemetry.StartServer(*telAddr, reg)

@@ -8,20 +8,28 @@
 //
 //	ofcontrollerd -addr 127.0.0.1:6633 -out 2 [-telemetry-addr 127.0.0.1:9090]
 //
-// With -telemetry-addr set, Prometheus metrics are served on
-// /metrics and Go profiling on /debug/pprof/.
+// With -telemetry-addr set, Prometheus metrics are served on /metrics,
+// Go profiling on /debug/pprof/, and a live cluster view on /statusz
+// (JSON with ?format=json). -mutex-profile-fraction and
+// -block-profile-rate additionally enable the runtime contention
+// profiles behind /debug/pprof/mutex and /debug/pprof/block (both off
+// by default, matching the Go runtime's defaults).
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"scotch/internal/obs"
 	"scotch/internal/ofnet"
 	"scotch/internal/openflow"
 	"scotch/internal/packet"
+	"scotch/internal/sim"
 	"scotch/internal/telemetry"
 )
 
@@ -72,10 +80,43 @@ func (r *reactive) PacketIn(sw *ofnet.SwitchConn, pin *openflow.PacketIn) {
 	})
 }
 
+// liveSeries wraps one instantaneous counter reading as a SeriesView, so
+// a process without a sampling observatory can still serve /statusz.
+func liveSeries(name string, v float64) obs.SeriesView {
+	return obs.SeriesView{Name: name, Summary: obs.Summary{N: 1, Last: v, Min: v, Max: v, Mean: v}}
+}
+
+// liveView builds a point-in-time ClusterView from the controller's
+// atomic counters: one component for the listener, one per connected
+// switch.
+func liveView(ctrl *ofnet.Controller, start time.Time) *obs.ClusterView {
+	v := &obs.ClusterView{At: sim.Time(time.Since(start))}
+	v.Components = append(v.Components, obs.ComponentView{Name: "controller", Series: []obs.SeriesView{
+		liveSeries("conns_accepted_total", float64(ctrl.ConnsAccepted.Load())),
+		liveSeries("messages_received_total", float64(ctrl.MsgsReceived.Load())),
+		liveSeries("packet_ins_total", float64(ctrl.PacketInsRecv.Load())),
+		liveSeries("write_errors_total", float64(ctrl.WriteErrors.Load())),
+		liveSeries("switches", float64(len(ctrl.Switches()))),
+	}})
+	for _, sw := range ctrl.Switches() {
+		v.Components = append(v.Components, obs.ComponentView{
+			Name: fmt.Sprintf("switch/%#x", sw.DPID),
+			Series: []obs.SeriesView{
+				liveSeries("packet_ins_total", float64(sw.PacketIns.Load())),
+				liveSeries("install_retries_total", float64(sw.InstallRetries.Load())),
+				liveSeries("slave_suppressed_total", float64(sw.SlaveSuppressed.Load())),
+			},
+		})
+	}
+	return v
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:6633", "listen address")
 	out := flag.Uint("out", 2, "output port for reactive rules")
-	telAddr := flag.String("telemetry-addr", "", "serve /metrics and /debug/pprof on this address (empty disables)")
+	telAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/pprof, and /statusz on this address (empty disables)")
+	mutexFrac := flag.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction sampling denominator (0 leaves mutex profiling off)")
+	blockRate := flag.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate nanosecond threshold (0 leaves block profiling off)")
 	flag.Parse()
 
 	ctrl, err := ofnet.NewController(*addr, &reactive{out: uint32(*out)})
@@ -85,14 +126,19 @@ func main() {
 	log.Printf("ofcontrollerd listening on %s", ctrl.Addr())
 
 	if *telAddr != "" {
+		telemetry.EnableContentionProfiling(*mutexFrac, *blockRate)
 		reg := telemetry.NewRegistry()
 		ctrl.BindMetrics(reg)
-		tel, err := telemetry.StartServer(*telAddr, reg)
+		start := time.Now()
+		tel, err := telemetry.StartServer(*telAddr, reg,
+			telemetry.WithHandler("/statusz", obs.Handler(func() *obs.ClusterView {
+				return liveView(ctrl, start)
+			})))
 		if err != nil {
 			log.Fatalf("telemetry: %v", err)
 		}
 		defer tel.Close()
-		log.Printf("telemetry on http://%s/metrics", tel.Addr())
+		log.Printf("telemetry on http://%s/metrics, statusz on http://%s/statusz", tel.Addr(), tel.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

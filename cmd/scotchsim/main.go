@@ -6,6 +6,10 @@
 //	scotchsim [-parallel N] run <id>...      run specific experiments (e.g. fig3 fig11)
 //	  run flags: -trace out.json             export control-path Chrome trace JSON
 //	             -stages                     print per-stage latency breakdown
+//	             -health                     print per-rig end-of-run health digests
+//	             -health-json out.json       write the digests as JSON
+//	             -profile-dir DIR            pprof capture on SLO-breach transitions
+//	             -statusz-addr :9090         live /statusz + /metrics while running
 //	scotchsim [-parallel N] all              run every experiment
 //	scotchsim [-parallel N] bench [-out F]   measure the suite, write BENCH_scotch.json
 //
@@ -13,12 +17,14 @@
 // runtime.NumCPU()). Each experiment owns a private deterministic engine,
 // so the concatenated output is byte-identical to a serial run regardless
 // of parallelism; only the per-experiment wall-time lines vary. Tracing
-// (-trace / -stages) forces serial execution so collected traces line up
-// with output order; the experiments' own tables are byte-unchanged.
+// (-trace / -stages) and health observation (-health and friends) force
+// serial execution so collected traces and digests line up with output
+// order; the experiments' own tables are byte-unchanged either way.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +34,7 @@ import (
 
 	"scotch/internal/bench"
 	"scotch/internal/experiments"
+	"scotch/internal/obs"
 	"scotch/internal/telemetry"
 )
 
@@ -60,12 +67,16 @@ func main() {
 	}
 }
 
-// runCmd handles `scotchsim run [-trace F] [-stages] <id>...`; flags and
-// ids may be interleaved in any order.
+// runCmd handles `scotchsim run [flags] <id>...`; flags and ids may be
+// interleaved in any order.
 func runCmd(args []string, parallel int) {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	tracePath := fs.String("trace", "", "write control-path Chrome trace-event JSON to this file")
 	stages := fs.Bool("stages", false, "print the per-stage control-path latency breakdown after the normal output")
+	health := fs.Bool("health", false, "print an end-of-run health digest (load timelines, SLO verdicts, burn peaks) per rig")
+	healthJSON := fs.String("health-json", "", "write the collected health digests as JSON to this file (implies observation)")
+	profileDir := fs.String("profile-dir", "", "capture heap+CPU pprof profiles into this directory on SLO-breach transitions")
+	statuszAddr := fs.String("statusz-addr", "", "serve a live /statusz (plus /metrics and /debug/pprof) on this address while experiments run")
 	// The flag package stops at the first non-flag argument; re-parse so
 	// `scotchsim run fig14 -stages` works as naturally as the reverse order.
 	var ids []string
@@ -90,7 +101,29 @@ func runCmd(args []string, parallel int) {
 		defer experiments.DisableTracing()
 		parallel = 1
 	}
+	observing := *health || *healthJSON != "" || *profileDir != "" || *statuszAddr != ""
+	if observing {
+		// Like tracing: one observatory per rig in build order, so serial
+		// execution keeps digests aligned with the output order (and the
+		// /statusz "current rig" pointer meaningful).
+		experiments.EnableObservatoryWith(obs.Config{ProfileDir: *profileDir})
+		defer experiments.DisableObservatory()
+		parallel = 1
+	}
+	if *statuszAddr != "" {
+		srv, err := telemetry.StartServer(*statuszAddr, telemetry.NewRegistry(),
+			telemetry.WithHandler("/statusz", obs.Handler(experiments.CurrentClusterView)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "statusz on http://%s/statusz\n", srv.Addr())
+	}
 	runIDs(ids, parallel)
+	if observing {
+		writeHealth(*health, *healthJSON)
+	}
 	if !tracing {
 		return
 	}
@@ -126,6 +159,49 @@ func runCmd(args []string, parallel int) {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d traced runs, %d spans)\n", *tracePath, len(traces), spans)
 	}
+}
+
+// writeHealth renders the collected per-rig health digests: as text to
+// stdout when -health is set, and as a JSON array to jsonPath when
+// -health-json names a file.
+func writeHealth(text bool, jsonPath string) {
+	runs := experiments.CollectedHealth()
+	if len(runs) == 0 {
+		fmt.Fprintln(os.Stderr, "note: the selected experiments built no observed rigs; no health to report")
+		return
+	}
+	digests := make([]*obs.Digest, 0, len(runs))
+	for _, nh := range runs {
+		digests = append(digests, nh.Obs.Digest(nh.Name))
+	}
+	if text {
+		for _, d := range digests {
+			if err := d.WriteText(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+	}
+	if jsonPath == "" {
+		return
+	}
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(digests)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		fmt.Fprintln(os.Stderr, "error:", werr)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d health digests)\n", jsonPath, len(digests))
 }
 
 // runIDs executes experiments on the worker pool and streams each result in
@@ -182,6 +258,8 @@ func describe(ids []string) string {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
-usage: scotchsim [-parallel N] list | all | run [-trace file] [-stages] <id>... | bench [-out file] [id...]
+usage: scotchsim [-parallel N] list | all
+       scotchsim run [-trace file] [-stages] [-health] [-health-json file] [-profile-dir dir] [-statusz-addr addr] <id>...
+       scotchsim bench [-out file] [id...]
 `))
 }

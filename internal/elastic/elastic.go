@@ -89,6 +89,7 @@ type Autoscaler struct {
 	downStreak int
 	lastResize sim.Time
 	resized    bool
+	lastLoad   float64
 
 	// Stats is read-only for callers.
 	Stats Stats
@@ -137,6 +138,12 @@ func (a *Autoscaler) Start() *Autoscaler {
 	return a
 }
 
+// LastLoad returns the load signal sampled by the most recent control
+// tick (0 before the first eval). The observatory reads this instead of
+// re-invoking the LoadFunc so observation never double-samples a signal
+// whose computation has side effects.
+func (a *Autoscaler) LastLoad() float64 { return a.lastLoad }
+
 // Stop halts the control loop. In-flight drains keep running to
 // completion in the overlay; Stop only stops new decisions.
 func (a *Autoscaler) Stop() {
@@ -151,6 +158,7 @@ func (a *Autoscaler) Stop() {
 func (a *Autoscaler) eval() {
 	a.Stats.Evals++
 	l := a.load()
+	a.lastLoad = l
 	size := a.pool.Size()
 	if l >= a.cfg.ScaleUpLoad {
 		a.upStreak++

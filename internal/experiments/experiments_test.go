@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"elastic",
 		"scenario-multitenant", "scenario-fattree", "scenario-replay",
 		"devolve-ablation", "devolve-invalidate",
+		"obs-slo",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

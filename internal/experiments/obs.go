@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"scotch/internal/obs"
+	"scotch/internal/workload"
+)
+
+// The observatory is armed process-wide and attached to every rig built
+// afterward, mirroring the tracing arming pattern: each rig gets a
+// private observatory, collected in build order. Like tracing, an armed
+// observatory is meant for serial runs of a single experiment; the
+// determinism suite verifies separately that arming it does not change
+// any experiment's output bytes.
+var obsState struct {
+	sync.Mutex
+	enabled bool
+	cfg     obs.Config
+	n       int
+	runs    []NamedHealth
+	current *obs.Observatory
+}
+
+// NamedHealth pairs one rig's observatory with its build-order run name
+// ("run1", "run2", ...).
+type NamedHealth struct {
+	Name string
+	Obs  *obs.Observatory
+}
+
+// defaultRigSLOs are the objectives armed observatories evaluate on
+// every rig: flow-setup p99 under 50ms over 1s/3s burn windows, for the
+// tenant classes the stock experiments emit.
+func defaultRigSLOs() []obs.SLO {
+	var out []obs.SLO
+	for _, tenant := range []string{"client", "base", "crowd"} {
+		out = append(out, obs.SLO{
+			Name:   tenant + "-p99",
+			Tenant: tenant,
+			Target: 50 * time.Millisecond,
+		})
+	}
+	return out
+}
+
+// EnableObservatory arms health observation for rigs built from now on
+// with the default config, and clears previously collected runs.
+func EnableObservatory() {
+	EnableObservatoryWith(obs.Config{SLOs: defaultRigSLOs()})
+}
+
+// EnableObservatoryWith arms health observation with an explicit
+// observatory config (e.g. to set a ProfileDir for breach captures). A
+// nil SLO list selects the default rig objectives.
+func EnableObservatoryWith(cfg obs.Config) {
+	if cfg.SLOs == nil {
+		cfg.SLOs = defaultRigSLOs()
+	}
+	obsState.Lock()
+	defer obsState.Unlock()
+	obsState.enabled = true
+	obsState.cfg = cfg
+	obsState.n = 0
+	obsState.runs = nil
+	obsState.current = nil
+}
+
+// DisableObservatory disarms observation and drops collected runs.
+func DisableObservatory() {
+	obsState.Lock()
+	defer obsState.Unlock()
+	obsState.enabled = false
+	obsState.n = 0
+	obsState.runs = nil
+	obsState.current = nil
+}
+
+// CollectedHealth returns the observatories of every rig built since
+// EnableObservatory, in build order.
+func CollectedHealth() []NamedHealth {
+	obsState.Lock()
+	defer obsState.Unlock()
+	return append([]NamedHealth(nil), obsState.runs...)
+}
+
+// CurrentClusterView snapshots the most recently built rig's
+// observatory — the live source behind scotchsim's /statusz endpoint.
+// Returns nil before the first armed rig exists.
+func CurrentClusterView() *obs.ClusterView {
+	obsState.Lock()
+	o := obsState.current
+	obsState.Unlock()
+	if o == nil {
+		return nil
+	}
+	return o.Snapshot()
+}
+
+// newRunObservatory wires a fresh observatory over every subsystem the
+// rig holds and starts it sampling, or returns nil when observation is
+// off. The latency tracker it attaches observes capture deliveries by
+// flow class, which is how experiment workloads name tenants.
+func newRunObservatory(r *rig) *obs.Observatory {
+	obsState.Lock()
+	defer obsState.Unlock()
+	if !obsState.enabled {
+		return nil
+	}
+	obsState.n++
+	o := obs.New(r.eng, obsState.cfg)
+	o.WatchApp(r.app)
+	o.WatchController("controller", r.c)
+	o.WatchSwitch(r.edge)
+	for _, vs := range r.vs {
+		o.WatchSwitch(vs)
+	}
+	for _, sb := range r.standby {
+		o.WatchSwitch(sb)
+	}
+	lt := workload.NewLatencyTracker(nil)
+	lt.AttachCapture(r.cap)
+	o.WatchLatency(lt)
+	o.Start()
+	obsState.runs = append(obsState.runs, NamedHealth{
+		Name: fmt.Sprintf("run%d", obsState.n),
+		Obs:  o,
+	})
+	obsState.current = o
+	return o
+}

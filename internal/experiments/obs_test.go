@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestObservatoryDoesNotChangeOutput is the golden determinism check for
+// the observatory: running an experiment with health observation armed
+// must produce byte-identical output to the unobserved run. Observation
+// adds sampling events to the engine but reads model state strictly
+// read-only, so the experiment's own event sequence — and therefore its
+// output — must not shift by a single byte.
+func TestObservatoryDoesNotChangeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"fig14", "elastic"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			var clean bytes.Buffer
+			if err := e.Run(&clean); err != nil {
+				t.Fatal(err)
+			}
+
+			EnableObservatory()
+			defer DisableObservatory()
+			var observed bytes.Buffer
+			if err := e.Run(&observed); err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(clean.Bytes(), observed.Bytes()) {
+				t.Errorf("observation changed %s output:\n--- unobserved ---\n%s\n--- observed ---\n%s",
+					id, clean.String(), observed.String())
+			}
+
+			runs := CollectedHealth()
+			if len(runs) == 0 {
+				t.Fatal("no health runs collected")
+			}
+			for _, nh := range runs {
+				d := nh.Obs.Digest(nh.Name)
+				if d.Samples == 0 {
+					t.Errorf("%s: observatory took no samples", nh.Name)
+				}
+				if len(d.Components) == 0 {
+					t.Errorf("%s: digest has no components", nh.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestDisableObservatoryDropsState confirms rigs built after
+// DisableObservatory are unobserved and collected runs are gone.
+func TestDisableObservatoryDropsState(t *testing.T) {
+	EnableObservatory()
+	obsState.Lock()
+	enabled := obsState.enabled
+	obsState.Unlock()
+	if !enabled {
+		t.Fatal("EnableObservatory did not arm")
+	}
+	DisableObservatory()
+	if runs := CollectedHealth(); len(runs) != 0 {
+		t.Fatalf("collected runs survive disable: %d", len(runs))
+	}
+	if v := CurrentClusterView(); v != nil {
+		t.Fatalf("current view survives disable: %+v", v)
+	}
+}
+
+// TestCurrentClusterViewLive checks the /statusz source: after an armed
+// run, the most recent rig's snapshot is served and carries data.
+func TestCurrentClusterViewLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	EnableObservatory()
+	defer DisableObservatory()
+	e, _ := ByID("fig14")
+	var out bytes.Buffer
+	if err := e.Run(&out); err != nil {
+		t.Fatal(err)
+	}
+	v := CurrentClusterView()
+	if v == nil || len(v.Components) == 0 || v.At == 0 {
+		t.Fatalf("current cluster view = %+v, want populated", v)
+	}
+}

@@ -114,6 +114,7 @@ func newRig(rc rigConfig) *rig {
 			traceDelivery(tr, srv)
 		}
 	}
+	newRunObservatory(r)
 	return r
 }
 

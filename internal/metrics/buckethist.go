@@ -118,7 +118,20 @@ func (h *BucketHistogram) Overflow() uint64 {
 // overflow bucket are clamped to the last bound, so quantiles never
 // extrapolate past the histogram's range. Returns 0 with no samples.
 func (h *BucketHistogram) Quantile(q float64) float64 {
-	counts := h.Counts()
+	return QuantileFromCounts(h.bounds, h.Counts(), q)
+}
+
+// QuantileFromCounts estimates the q-quantile from a per-bucket count
+// vector over the given bounds, with the same interpolation and
+// overflow-clamp rules as BucketHistogram.Quantile. counts may have
+// len(bounds) or len(bounds)+1 entries; a final extra entry is the
+// overflow bucket. It is the building block for windowed quantiles: the
+// caller differences two Counts() snapshots and asks for the quantile of
+// the samples that arrived in between. Returns 0 with no samples.
+func QuantileFromCounts(bounds []float64, counts []uint64, q float64) float64 {
+	if len(bounds) == 0 {
+		return 0
+	}
 	var total uint64
 	for _, c := range counts {
 		total += c
@@ -146,18 +159,18 @@ func (h *BucketHistogram) Quantile(q float64) float64 {
 		if cum < rank {
 			continue
 		}
-		if i == len(h.bounds) {
+		if i >= len(bounds) {
 			// Overflow bucket: clamp to the largest bound.
-			return h.bounds[len(h.bounds)-1]
+			return bounds[len(bounds)-1]
 		}
 		lower := 0.0
 		if i > 0 {
-			lower = h.bounds[i-1]
+			lower = bounds[i-1]
 		}
-		upper := h.bounds[i]
+		upper := bounds[i]
 		return lower + (upper-lower)*(rank-prev)/float64(c)
 	}
-	return h.bounds[len(h.bounds)-1]
+	return bounds[len(bounds)-1]
 }
 
 // Merge adds every bucket of o into h (for aggregating per-tenant or

@@ -97,8 +97,14 @@ func (m *RateMeter) Rate(now sim.Time) float64 {
 
 // TimeSeries accumulates values into fixed-duration bins, producing the
 // x/y series plotted in the paper's figures.
+//
+// Like RateMeter, writers live on the simulation event loop while
+// telemetry readers (scrapes, the observatory) may call Points
+// concurrently, so Add and the read methods lock.
 type TimeSeries struct {
-	Bin  time.Duration
+	Bin time.Duration
+
+	mu   sync.Mutex
 	bins map[int64]float64
 }
 
@@ -109,7 +115,9 @@ func NewTimeSeries(bin time.Duration) *TimeSeries {
 
 // Add accumulates v into the bin containing now.
 func (ts *TimeSeries) Add(now sim.Time, v float64) {
+	ts.mu.Lock()
 	ts.bins[int64(now/ts.Bin)] += v
+	ts.mu.Unlock()
 }
 
 // Point is one (time, value) sample.
@@ -121,6 +129,8 @@ type Point struct {
 // Points returns the binned samples in time order. Empty bins between the
 // first and last sample are included as zeros.
 func (ts *TimeSeries) Points() []Point {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
 	if len(ts.bins) == 0 {
 		return nil
 	}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"scotch/internal/sim"
+)
+
+func at(ms int) sim.Time { return sim.Time(ms) * sim.Time(time.Millisecond) }
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(4)
+	if r.Cap() != 4 || r.Len() != 0 {
+		t.Fatalf("fresh ring cap=%d len=%d", r.Cap(), r.Len())
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("empty ring reported a last sample")
+	}
+	for i := 0; i < 10; i++ {
+		r.Push(at(i), float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("len after wrap = %d, want 4", r.Len())
+	}
+	pts := r.Points()
+	for i, p := range pts {
+		want := float64(6 + i)
+		if p.V != want || p.T != at(6+i) {
+			t.Fatalf("pts[%d] = %+v, want t=%v v=%g", i, p, at(6+i), want)
+		}
+	}
+	if last, ok := r.Last(); !ok || last.V != 9 {
+		t.Fatalf("last = %+v ok=%v, want v=9", last, ok)
+	}
+	since := r.Since(at(8))
+	if len(since) != 2 || since[0].V != 8 {
+		t.Fatalf("since(8ms) = %+v, want samples 8 and 9", since)
+	}
+}
+
+func TestRingNilSafe(t *testing.T) {
+	var r *Ring
+	r.Push(0, 1)
+	if r.Len() != 0 || r.Cap() != 0 || r.Points() != nil || r.Since(0) != nil {
+		t.Fatal("nil ring not inert")
+	}
+	if _, ok := r.Last(); ok {
+		t.Fatal("nil ring reported a last sample")
+	}
+}
+
+func TestNewRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("cap = %d, want clamp to 1", r.Cap())
+	}
+	r.Push(at(1), 1)
+	r.Push(at(2), 2)
+	if last, _ := r.Last(); last.V != 2 || r.Len() != 1 {
+		t.Fatalf("single-slot ring kept %+v len=%d", last, r.Len())
+	}
+}
+
+func TestSummarizeAndDownsample(t *testing.T) {
+	if s := Summarize(nil); s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	pts := []Point{{at(1), 4}, {at(2), 1}, {at(3), 7}, {at(4), 2}}
+	s := Summarize(pts)
+	if s.N != 4 || s.Last != 2 || s.Min != 1 || s.Max != 7 || s.Mean != 3.5 {
+		t.Fatalf("summary = %+v", s)
+	}
+
+	var long []Point
+	for i := 0; i < 100; i++ {
+		long = append(long, Point{at(i), float64(i)})
+	}
+	ds := Downsample(long, 10)
+	if len(ds) != 10 {
+		t.Fatalf("downsampled to %d points, want 10", len(ds))
+	}
+	// Each group of 10 averages to its midpoint and ends on its last time.
+	if ds[0].V != 4.5 || ds[0].T != at(9) || ds[9].V != 94.5 || ds[9].T != at(99) {
+		t.Fatalf("downsample groups wrong: first=%+v last=%+v", ds[0], ds[9])
+	}
+	if got := Downsample(pts, 10); len(got) != len(pts) {
+		t.Fatal("short series must pass through untouched")
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if Spark(nil, 10) != "" || Spark([]Point{{0, 1}}, 0) != "" {
+		t.Fatal("degenerate spark inputs must render empty")
+	}
+	flat := Spark([]Point{{at(1), 5}, {at(2), 5}}, 2)
+	if flat != "  " {
+		t.Fatalf("flat series = %q, want two low cells", flat)
+	}
+	ramp := Spark([]Point{{at(1), 0}, {at(2), 1}}, 2)
+	if ramp != " @" {
+		t.Fatalf("ramp = %q, want low then high", ramp)
+	}
+}
+
+func TestVerdictPath(t *testing.T) {
+	if got := VerdictPath(Healthy, nil); got != "healthy" {
+		t.Fatalf("path = %q", got)
+	}
+	trs := []Transition{
+		{At: at(1), From: Healthy, To: Burning},
+		{At: at(2), From: Burning, To: Healthy},
+	}
+	if got := VerdictPath(Healthy, trs); got != "healthy->burning->healthy" {
+		t.Fatalf("path = %q", got)
+	}
+}

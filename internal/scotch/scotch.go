@@ -359,6 +359,44 @@ func (a *App) Active(dpid uint64) bool {
 // Overlay exposes the overlay manager (read-only use in experiments).
 func (a *App) Overlay() *Overlay { return a.ov }
 
+// ProtectedDPIDs returns the protected physical switches, sorted. The
+// observatory iterates this once at wiring time to register per-switch
+// request-rate probes.
+func (a *App) ProtectedDPIDs() []uint64 {
+	out := make([]uint64, 0, len(a.protected))
+	for dpid := range a.protected {
+		out = append(out, dpid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RequestRate returns a protected switch's attributed new-flow arrival
+// rate (flows/s) over the meter window ending now — the same
+// origin-attributed signal the congestion monitor acts on. Returns 0 for
+// unprotected switches. Reading never mutates the meter.
+func (a *App) RequestRate(dpid uint64) float64 {
+	st := a.protected[dpid]
+	if st == nil {
+		return 0
+	}
+	return st.reqRate.Rate(a.C.Eng.Now())
+}
+
+// InstallBacklog returns the total number of flow requests queued across
+// every physical and overlay install scheduler — the app-level queue
+// depth behind the paced FlowMod budget.
+func (a *App) InstallBacklog() int {
+	total := 0
+	for _, s := range a.physSched {
+		total += s.TotalBacklog()
+	}
+	for _, s := range a.ovlSched {
+		total += s.TotalBacklog()
+	}
+	return total
+}
+
 // sched returns (creating on demand) the physical install scheduler of a
 // switch.
 func (a *App) sched(dpid uint64) *installScheduler {

@@ -5,6 +5,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"sort"
 	"time"
 )
 
@@ -17,9 +19,54 @@ type Server struct {
 	srv      *http.Server
 }
 
+// ServerOption customizes StartServer.
+type ServerOption func(*serverConfig)
+
+type serverConfig struct {
+	extra map[string]http.Handler
+}
+
+// WithHandler mounts an extra handler on the telemetry mux (e.g. the
+// observatory's /statusz). Paths starting with /metrics or /debug are
+// reserved and silently ignored.
+func WithHandler(path string, h http.Handler) ServerOption {
+	return func(c *serverConfig) {
+		if path == "" || path == "/" || h == nil {
+			return
+		}
+		if len(path) >= 8 && path[:8] == "/metrics" {
+			return
+		}
+		if len(path) >= 6 && path[:6] == "/debug" {
+			return
+		}
+		c.extra[path] = h
+	}
+}
+
+// EnableContentionProfiling turns on runtime mutex and block profiling so
+// /debug/pprof/mutex and /debug/pprof/block carry data. mutexFraction is
+// the sampling denominator passed to runtime.SetMutexProfileFraction;
+// blockRate is the nanosecond threshold for runtime.SetBlockProfileRate.
+// Values <= 0 leave the corresponding profile untouched (both default to
+// off, which is also the process default), so calling this with zeros is
+// a no-op.
+func EnableContentionProfiling(mutexFraction, blockRate int) {
+	if mutexFraction > 0 {
+		runtime.SetMutexProfileFraction(mutexFraction)
+	}
+	if blockRate > 0 {
+		runtime.SetBlockProfileRate(blockRate)
+	}
+}
+
 // StartServer binds addr (e.g. "127.0.0.1:9090" or ":0") and serves the
 // registry in a background goroutine. Returns an error if the listen fails.
-func StartServer(addr string, reg *Registry) (*Server, error) {
+func StartServer(addr string, reg *Registry, opts ...ServerOption) (*Server, error) {
+	cfg := serverConfig{extra: make(map[string]http.Handler)}
+	for _, o := range opts {
+		o(&cfg)
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -32,12 +79,22 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	index := []string{"/metrics", "/debug/pprof/"}
+	for path, h := range cfg.extra {
+		mux.Handle(path, h)
+		index = append(index, path)
+	}
+	sort.Strings(index)
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "scotch telemetry: /metrics /debug/pprof/")
+		fmt.Fprint(w, "scotch telemetry:")
+		for _, p := range index {
+			fmt.Fprintf(w, " %s", p)
+		}
+		fmt.Fprintln(w)
 	})
 	s.ln = ln
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -13,6 +14,10 @@ import (
 // Registry is a goroutine-safe collection of named metrics, scraped in
 // Prometheus text exposition format. Series names may carry a label block
 // (`name{label="v"}`); series of the same family share one # TYPE line.
+// Keys are canonicalized on every lookup — labels sorted by name, values
+// escaped per the exposition format — so the legacy label-in-name
+// spelling remains a readable alias for real label pairs (see
+// FormatSeries/ParseSeries).
 //
 // Instrument handles (Counter, Gauge, Histogram) are resolved once at wiring
 // time and then updated lock-free with atomics, so instrumented hot paths
@@ -40,7 +45,9 @@ func NewRegistry() *Registry {
 }
 
 // Labels formats key/value pairs as a Prometheus label block, e.g.
-// Labels("dpid", "7") == `{dpid="7"}`. An empty argument list yields "".
+// Labels("dpid", "7") == `{dpid="7"}`. Values are escaped per the text
+// exposition format (see EscapeLabelValue). An empty argument list
+// yields "".
 func Labels(kv ...string) string {
 	if len(kv) == 0 {
 		return ""
@@ -51,7 +58,10 @@ func Labels(kv ...string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", kv[i], kv[i+1])
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -169,11 +179,14 @@ func (h *Histogram) Sum() float64 {
 }
 
 // Counter returns (creating if needed) the counter with the given series
-// name. Nil-safe: a nil registry returns a nil (no-op) handle.
+// name. Nil-safe: a nil registry returns a nil (no-op) handle. The key is
+// canonicalized (labels sorted, values escaped), so older label-in-name
+// spellings of the same series alias the same counter.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
 	}
+	name = canonicalKey(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
@@ -189,6 +202,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
 	}
+	name = canonicalKey(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
@@ -206,6 +220,7 @@ func (r *Registry) CounterFunc(name string, fn func() uint64) {
 	if r == nil || fn == nil {
 		return
 	}
+	name = canonicalKey(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.counterFns[name] = fn
@@ -218,6 +233,7 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	if r == nil || fn == nil {
 		return
 	}
+	name = canonicalKey(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.gaugeFns[name] = fn
@@ -229,6 +245,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if r == nil {
 		return nil
 	}
+	name = canonicalKey(name)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
@@ -346,5 +363,5 @@ func mergeLabels(block, extra string) string {
 }
 
 func fmtFloat(v float64) string {
-	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
