@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test short race vet doclint bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf devolve obs cover clean
+.PHONY: all build test short race vet doclint linkcheck bench bench-report bench-short trace-sample chaos trace-chaos fuzz-short scenario-cdf devolve obs balance cover clean
 
 all: build test
 
@@ -28,6 +28,11 @@ vet:
 # exported symbol.
 doclint:
 	$(GO) run ./cmd/doclint
+
+# Markdown gate: every relative link and heading anchor in the repo's
+# markdown must resolve (offline, GitHub anchor rules).
+linkcheck:
+	$(GO) run ./cmd/linkcheck
 
 # The chaos experiments (§5 reliability mechanisms under injected faults)
 # plus the elastic autoscaler cycle and the devolution invalidation run,
@@ -84,6 +89,13 @@ devolve:
 obs:
 	$(GO) run ./cmd/scotchsim run obs-slo -health -health-json health_obs_slo.json | tee obs_slo.txt
 
+# Joint-elasticity balancer experiments (the CI artifact proving the
+# grow-while-migrating interleave with zero client loss and the
+# burn-driven replica scale-out/retire cycle), with per-rig health
+# digests in health_balance.json.
+balance:
+	$(GO) run ./cmd/scotchsim run elastic-under-migration replica-scale-out -health -health-json health_balance.json | tee balance.txt
+
 # Coverage over the deterministic packages, with a per-function summary.
 cover:
 	$(GO) test -short -coverprofile=coverage.out ./...
@@ -92,4 +104,4 @@ cover:
 
 clean:
 	$(GO) clean ./...
-	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt devolve_ablation.txt obs_slo.txt health_obs_slo.json
+	rm -f coverage.out trace_fig14.json trace_chaos.json scenario_multitenant.txt devolve_ablation.txt obs_slo.txt health_obs_slo.json balance.txt health_balance.json

@@ -33,6 +33,7 @@ var strictPkgs = map[string]bool{
 	"internal/elastic": true,
 	"internal/fault":   true,
 	"internal/obs":     true,
+	"internal/balance": true,
 }
 
 func main() {

@@ -1,0 +1,258 @@
+// Command linkcheck verifies the repository's markdown cross-references:
+// every relative link target in every tracked .md file must exist, and
+// every heading anchor (the #fragment part, including same-file
+// "[...](#section)" links) must resolve to a real heading in the target
+// file using GitHub's anchor rules. External links (http, https, mailto)
+// are not touched — the check is offline and deterministic.
+//
+// Usage:
+//
+//	go run ./cmd/linkcheck [root]
+//
+// root defaults to ".". Exits nonzero listing each broken link as
+// file:line: message, so it slots into make/CI like a vet pass.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Optional titles ("[x](a.md \"title\")") are split off
+// by the caller.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	files, err := markdownFiles(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "linkcheck:", err)
+		os.Exit(1)
+	}
+
+	// Anchor sets are built lazily: most files are link targets only and
+	// never need their headings parsed.
+	anchors := make(map[string]map[string]bool)
+	anchorsOf := func(path string) (map[string]bool, error) {
+		if a, ok := anchors[path]; ok {
+			return a, nil
+		}
+		a, err := headingAnchors(path)
+		if err != nil {
+			return nil, err
+		}
+		anchors[path] = a
+		return a, nil
+	}
+
+	var broken []string
+	for _, md := range files {
+		links, err := extractLinks(md)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(1)
+		}
+		for _, l := range links {
+			target, frag, ok := splitTarget(l.target)
+			if !ok {
+				continue // external or non-checkable
+			}
+			dest := md
+			if target != "" {
+				dest = filepath.Join(filepath.Dir(md), filepath.FromSlash(target))
+				st, err := os.Stat(dest)
+				if err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: broken link %q: no such file", md, l.line, l.target))
+					continue
+				}
+				if st.IsDir() || frag == "" {
+					continue
+				}
+			}
+			if frag == "" || !strings.EqualFold(filepath.Ext(dest), ".md") {
+				continue
+			}
+			a, err := anchorsOf(dest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "linkcheck:", err)
+				os.Exit(1)
+			}
+			if !a[strings.ToLower(frag)] {
+				broken = append(broken, fmt.Sprintf("%s:%d: broken anchor %q: no heading %q in %s", md, l.line, l.target, frag, dest))
+			}
+		}
+	}
+	if len(broken) > 0 {
+		for _, b := range broken {
+			fmt.Println(b)
+		}
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", len(broken))
+		os.Exit(1)
+	}
+}
+
+// markdownFiles walks root for .md files, skipping VCS and dependency
+// directories.
+func markdownFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "node_modules", "vendor", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// link is one inline markdown link occurrence.
+type link struct {
+	line   int
+	target string
+}
+
+// extractLinks returns the inline link targets of a markdown file,
+// ignoring fenced code blocks (``` ... ```) and inline code spans.
+func extractLinks(path string) ([]link, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var links []link
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(stripCodeSpans(line), -1) {
+			links = append(links, link{line: n, target: m[1]})
+		}
+	}
+	return links, sc.Err()
+}
+
+// stripCodeSpans blanks `inline code` so link syntax inside it (example
+// snippets, shell commands) is not checked.
+func stripCodeSpans(s string) string {
+	var b strings.Builder
+	inCode := false
+	for _, r := range s {
+		switch {
+		case r == '`':
+			inCode = !inCode
+			b.WriteRune(' ')
+		case inCode:
+			b.WriteRune(' ')
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// splitTarget splits a link target into a relative path and fragment.
+// ok=false means the link is external or otherwise out of scope.
+func splitTarget(target string) (path, frag string, ok bool) {
+	if target == "" {
+		return "", "", false
+	}
+	lower := strings.ToLower(target)
+	for _, scheme := range []string{"http://", "https://", "mailto:", "ftp://"} {
+		if strings.HasPrefix(lower, scheme) {
+			return "", "", false
+		}
+	}
+	if strings.HasPrefix(target, "/") {
+		// Site-absolute paths have no meaning in a repository.
+		return "", "", false
+	}
+	path, frag, _ = strings.Cut(target, "#")
+	return path, frag, true
+}
+
+// headingAnchors parses a markdown file's ATX headings ("## Title") into
+// the anchor set GitHub generates: lowercase, punctuation dropped,
+// spaces to hyphens, "-N" suffixes for duplicates.
+func headingAnchors(path string) (map[string]bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	anchors := make(map[string]bool)
+	seen := make(map[string]int)
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") || strings.HasPrefix(trimmed, "~~~") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		text := strings.TrimLeft(trimmed, "#")
+		if text == trimmed || (text != "" && text[0] != ' ' && text[0] != '\t') {
+			continue // not an ATX heading ("#hashtag")
+		}
+		slug := slugify(strings.TrimSpace(text))
+		if n := seen[slug]; n > 0 {
+			anchors[fmt.Sprintf("%s-%d", slug, n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		seen[slug]++
+	}
+	return anchors, sc.Err()
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// keep letters/digits/hyphens/underscores, turn spaces into hyphens,
+// drop everything else (including backticks and punctuation).
+func slugify(s string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r == ' ':
+			b.WriteRune('-')
+		case r == '-' || r == '_':
+			b.WriteRune(r)
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r > 127: // unicode letters survive in GitHub slugs
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

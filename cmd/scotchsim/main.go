@@ -10,6 +10,7 @@
 //	             -health-json out.json       write the digests as JSON
 //	             -profile-dir DIR            pprof capture on SLO-breach transitions
 //	             -statusz-addr :9090         live /statusz + /metrics while running
+//	             -balance                    advisory joint balancer per rig (decision log)
 //	scotchsim [-parallel N] all              run every experiment
 //	scotchsim [-parallel N] bench [-out F]   measure the suite, write BENCH_scotch.json
 //
@@ -77,6 +78,7 @@ func runCmd(args []string, parallel int) {
 	healthJSON := fs.String("health-json", "", "write the collected health digests as JSON to this file (implies observation)")
 	profileDir := fs.String("profile-dir", "", "capture heap+CPU pprof profiles into this directory on SLO-breach transitions")
 	statuszAddr := fs.String("statusz-addr", "", "serve a live /statusz (plus /metrics and /debug/pprof) on this address while experiments run")
+	advise := fs.Bool("balance", false, "run an advisory joint balancer per rig and print its decision log (implies observation, never actuates)")
 	// The flag package stops at the first non-flag argument; re-parse so
 	// `scotchsim run fig14 -stages` works as naturally as the reverse order.
 	var ids []string
@@ -101,7 +103,7 @@ func runCmd(args []string, parallel int) {
 		defer experiments.DisableTracing()
 		parallel = 1
 	}
-	observing := *health || *healthJSON != "" || *profileDir != "" || *statuszAddr != ""
+	observing := *health || *healthJSON != "" || *profileDir != "" || *statuszAddr != "" || *advise
 	if observing {
 		// Like tracing: one observatory per rig in build order, so serial
 		// execution keeps digests aligned with the output order (and the
@@ -109,6 +111,12 @@ func runCmd(args []string, parallel int) {
 		experiments.EnableObservatoryWith(obs.Config{ProfileDir: *profileDir})
 		defer experiments.DisableObservatory()
 		parallel = 1
+	}
+	if *advise {
+		// Advise mode reads each rig's observatory but never actuates, so
+		// the experiments' own output is byte-unchanged.
+		experiments.EnableBalanceAdvisor()
+		defer experiments.DisableBalanceAdvisor()
 	}
 	if *statuszAddr != "" {
 		srv, err := telemetry.StartServer(*statuszAddr, telemetry.NewRegistry(),
@@ -121,6 +129,9 @@ func runCmd(args []string, parallel int) {
 		fmt.Fprintf(os.Stderr, "statusz on http://%s/statusz\n", srv.Addr())
 	}
 	runIDs(ids, parallel)
+	if *advise {
+		writeAdvice()
+	}
 	if observing {
 		writeHealth(*health, *healthJSON)
 	}
@@ -158,6 +169,22 @@ func runCmd(args []string, parallel int) {
 			spans += len(nt.Tracer.Spans())
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d traced runs, %d spans)\n", *tracePath, len(traces), spans)
+	}
+}
+
+// writeAdvice prints each rig's advisory balancer decision log after the
+// experiments' own output, in build order.
+func writeAdvice() {
+	runs := experiments.CollectedBalance()
+	if len(runs) == 0 {
+		fmt.Fprintln(os.Stderr, "note: the selected experiments built no advised rigs; no balance advice to report")
+		return
+	}
+	for _, nb := range runs {
+		log := nb.B.Log()
+		fmt.Printf("balance advice (%s): %d decisions\n", nb.Name, len(log))
+		experiments.WriteDecisions(os.Stdout, log)
+		fmt.Println()
 	}
 }
 
@@ -259,7 +286,7 @@ func describe(ids []string) string {
 func usage() {
 	fmt.Fprintln(os.Stderr, strings.TrimSpace(`
 usage: scotchsim [-parallel N] list | all
-       scotchsim run [-trace file] [-stages] [-health] [-health-json file] [-profile-dir dir] [-statusz-addr addr] <id>...
+       scotchsim run [-trace file] [-stages] [-health] [-health-json file] [-profile-dir dir] [-statusz-addr addr] [-balance] <id>...
        scotchsim bench [-out file] [id...]
 `))
 }

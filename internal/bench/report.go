@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"os"
 	"runtime"
 	"time"
@@ -24,10 +25,18 @@ type ExperimentResult struct {
 
 // Report is the schema of BENCH_scotch.json.
 type Report struct {
-	SchemaVersion   int                `json:"schema_version"`
-	GoVersion       string             `json:"go_version"`
-	Cores           int                `json:"cores"`
-	Parallelism     int                `json:"parallelism"`
+	SchemaVersion int    `json:"schema_version"`
+	GoVersion     string `json:"go_version"`
+	Cores         int    `json:"cores"`
+	// Parallelism is the worker count the parallel pass actually ran
+	// with; RequestedParallelism is what the caller asked for before
+	// clamping to the schedulable CPU count. A speedup is only
+	// meaningful against Parallelism.
+	Parallelism          int `json:"parallelism"`
+	RequestedParallelism int `json:"requested_parallelism"`
+	// Warning is set when the request was clamped: more workers than
+	// schedulable CPUs cannot speed anything up, they only time-slice.
+	Warning         string             `json:"warning,omitempty"`
 	SerialWallNs    int64              `json:"serial_wall_ns"`
 	ParallelWallNs  int64              `json:"parallel_wall_ns"`
 	Speedup         float64            `json:"speedup"` // serial wall / parallel wall
@@ -36,20 +45,37 @@ type Report struct {
 }
 
 // SchemaVersion identifies the report layout; bump on incompatible change.
-const SchemaVersion = 1
+// v2 added requested_parallelism/warning and clamped parallelism to the
+// schedulable CPU count.
+const SchemaVersion = 2
 
 // Collect runs the given experiments serially (measuring per-experiment
 // wall time and allocations) and then through the parallel runner, and
 // assembles the comparison report. ids defaults to every registered
-// experiment; parallelism <= 0 means runtime.NumCPU().
+// experiment; parallelism <= 0 means runtime.GOMAXPROCS(0).
+//
+// Parallelism is clamped to runtime.GOMAXPROCS(0): a report claiming a
+// 4-worker speedup measured on one schedulable CPU would be fiction, so
+// the clamp is recorded (RequestedParallelism, Warning) rather than
+// silently honored.
 func Collect(ctx context.Context, ids []string, parallelism int) (*Report, error) {
 	if len(ids) == 0 {
 		for _, e := range experiments.All() {
 			ids = append(ids, e.ID)
 		}
 	}
+	maxProcs := runtime.GOMAXPROCS(0)
+	requested := parallelism
 	if parallelism <= 0 {
-		parallelism = runtime.NumCPU()
+		requested = maxProcs
+		parallelism = maxProcs
+	}
+	var warning string
+	if parallelism > maxProcs {
+		warning = fmt.Sprintf("requested parallelism %d exceeds %d schedulable CPUs; clamped (speedup would be meaningless)",
+			parallelism, maxProcs)
+		fmt.Fprintln(os.Stderr, "bench:", warning)
+		parallelism = maxProcs
 	}
 
 	// Serial pass: parallelism 1 keeps every run single-threaded so the
@@ -84,13 +110,15 @@ func Collect(ctx context.Context, ids []string, parallelism int) (*Report, error
 	experiments.WriteResults(&parallelOut, parallel)
 
 	r := &Report{
-		SchemaVersion:   SchemaVersion,
-		GoVersion:       runtime.Version(),
-		Cores:           runtime.NumCPU(),
-		Parallelism:     parallelism,
-		SerialWallNs:    serialWall.Nanoseconds(),
-		ParallelWallNs:  parallelWall.Nanoseconds(),
-		OutputIdentical: bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()),
+		SchemaVersion:        SchemaVersion,
+		GoVersion:            runtime.Version(),
+		Cores:                runtime.NumCPU(),
+		Parallelism:          parallelism,
+		RequestedParallelism: requested,
+		Warning:              warning,
+		SerialWallNs:         serialWall.Nanoseconds(),
+		ParallelWallNs:       parallelWall.Nanoseconds(),
+		OutputIdentical:      bytes.Equal(serialOut.Bytes(), parallelOut.Bytes()),
 	}
 	if parallelWall > 0 {
 		r.Speedup = float64(serialWall) / float64(parallelWall)

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestParallelismClampedToSchedulableCPUs pins the fix for a misleading
+// report shape this repo actually shipped: BENCH_scotch.json claiming a
+// multi-worker "speedup" measured with parallelism 4 on a single
+// schedulable CPU, where the workers can only time-slice. Collect must
+// clamp to runtime.GOMAXPROCS(0) and record both the request and the
+// clamp instead of honoring it silently.
+func TestParallelismClampedToSchedulableCPUs(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	r, err := Collect(context.Background(), []string{"table1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SchemaVersion != 2 {
+		t.Errorf("schema version = %d, want 2", r.SchemaVersion)
+	}
+	if r.Parallelism != 1 {
+		t.Errorf("effective parallelism = %d, want clamped to 1", r.Parallelism)
+	}
+	if r.RequestedParallelism != 4 {
+		t.Errorf("requested parallelism = %d, want 4 preserved", r.RequestedParallelism)
+	}
+	if !strings.Contains(r.Warning, "clamped") {
+		t.Errorf("warning = %q, want a clamp explanation", r.Warning)
+	}
+}
+
+// TestDefaultParallelismIsSchedulable pins the default: parallelism <= 0
+// selects the schedulable CPU count (GOMAXPROCS), not the physical core
+// count, and an honorable request leaves no warning behind.
+func TestDefaultParallelismIsSchedulable(t *testing.T) {
+	r, err := Collect(context.Background(), []string{"table1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if r.Parallelism != want || r.RequestedParallelism != want {
+		t.Errorf("parallelism = %d/%d, want %d/%d",
+			r.Parallelism, r.RequestedParallelism, want, want)
+	}
+	if r.Warning != "" {
+		t.Errorf("warning = %q, want none for an in-bounds request", r.Warning)
+	}
+	if !r.OutputIdentical {
+		t.Error("serial and parallel outputs differ")
+	}
+}

@@ -42,6 +42,9 @@ type Config struct {
 	HeartbeatMisses   int
 
 	// BalanceInterval is how often load is compared across replicas.
+	// Zero or negative disables the coordinator's built-in balance loop
+	// entirely; an external controller (the joint balancer in
+	// internal/balance) then owns migration decisions via MigratePod.
 	BalanceInterval time.Duration
 	// ImbalanceFactor triggers migration when the most loaded replica
 	// exceeds this multiple of the least loaded one.
@@ -71,6 +74,7 @@ type Stats struct {
 	Migrations   uint64 // cooperative handoffs (load-triggered or explicit)
 	Failovers    uint64 // pods reassigned after a replica death
 	ReplicasLost uint64
+	Retired      uint64 // replicas gracefully retired (pods migrated off first)
 
 	// DetectedAt is when the most recent replica death was declared;
 	// HandoffDoneAt is when the most recent handoff's barriers all drained
@@ -174,6 +178,7 @@ func (co *Coordinator) BindMetrics(reg *telemetry.Registry) {
 	reg.CounterFunc("scotch_cluster_migrations_total", func() uint64 { return co.Stats.Migrations })
 	reg.CounterFunc("scotch_cluster_failovers_total", func() uint64 { return co.Stats.Failovers })
 	reg.CounterFunc("scotch_cluster_replicas_lost_total", func() uint64 { return co.Stats.ReplicasLost })
+	reg.CounterFunc("scotch_cluster_replicas_retired_total", func() uint64 { return co.Stats.Retired })
 	for _, r := range co.Replicas {
 		r := r
 		lbl := telemetry.Labels("replica", fmt.Sprint(r.ID))
@@ -250,7 +255,88 @@ func (co *Coordinator) Start() {
 		}
 	}
 	co.Eng.Every(co.Cfg.HeartbeatInterval, co.heartbeat)
-	co.Eng.Every(co.Cfg.BalanceInterval, co.balance)
+	if co.Cfg.BalanceInterval > 0 {
+		co.Eng.Every(co.Cfg.BalanceInterval, co.balance)
+	}
+}
+
+// Enroll adds a controller to an already-running cluster as a fresh
+// replica and immediately claims slave on every pod switch it is
+// connected to, so the newcomer receives no Packet-Ins until a pod is
+// migrated onto it. (New connections default to RoleEqual, which would
+// otherwise mirror every punt to the newcomer and distort its load
+// signal.) The controller must already be connected to the network.
+func (co *Coordinator) Enroll(c *controller.Controller) *Replica {
+	r := co.AddReplica(c)
+	gen := co.nextGen()
+	for _, p := range co.pods {
+		for _, dpid := range p.DPIDs {
+			if h := c.Switch(dpid); h != nil {
+				h.RequestRole(openflow.RoleSlave, gen, nil)
+			}
+		}
+	}
+	return r
+}
+
+// Retire gracefully removes a live replica: every pod it carries is
+// cooperatively migrated to the least-loaded survivor, then the replica
+// is marked dead so it is never again a migration or failover target.
+// Retiring the last live replica (or one already dead) is refused.
+func (co *Coordinator) Retire(id int) bool {
+	if id < 0 || id >= len(co.Replicas) {
+		return false
+	}
+	r := co.Replicas[id]
+	if r.dead {
+		return false
+	}
+	alive := 0
+	for _, o := range co.Replicas {
+		if !o.dead {
+			alive++
+		}
+	}
+	if alive < 2 {
+		return false
+	}
+	for _, p := range co.pods { // AddPod order: deterministic
+		if co.assign[p.Name] != id {
+			continue
+		}
+		if to := co.leastLoaded(r); to != nil {
+			co.migrate(p, to, false)
+		}
+	}
+	r.dead = true
+	co.Stats.Retired++
+	if co.Trace != nil {
+		co.Trace.Mark(fmt.Sprintf("replica-retire %d", id), co.Eng.Now())
+	}
+	return true
+}
+
+// MigratePod asks the coordinator to move one pod from replica `from` to
+// replica `to`, applying the same EASM-style pod selection as the
+// internal balance loop: among the source's pods it picks the one whose
+// move most narrows the load spread, and refuses moves that would merely
+// relocate the hotspot. Returns the migrated pod's name, or ok=false
+// when the ids are invalid, a replica is dead, or no pod improves the
+// spread.
+func (co *Coordinator) MigratePod(from, to int) (pod string, ok bool) {
+	if from == to || from < 0 || to < 0 || from >= len(co.Replicas) || to >= len(co.Replicas) {
+		return "", false
+	}
+	src, dst := co.Replicas[from], co.Replicas[to]
+	if src.dead || dst.dead {
+		return "", false
+	}
+	best := co.pickPod(src, dst)
+	if best == nil {
+		return "", false
+	}
+	co.migrate(best, dst, false)
+	return best.Name, true
 }
 
 // Migrate performs an explicit cooperative migration of a pod.
@@ -426,17 +512,27 @@ func (co *Coordinator) balance() {
 	if maxR == minR || maxL < co.Cfg.MinLoad || maxL <= co.Cfg.ImbalanceFactor*minL {
 		return
 	}
-	// Pick the pod minimizing the post-move spread |gap - 2*rate|; a move
-	// that would merely relocate the hotspot (no strict improvement) is
-	// skipped.
-	gap := maxL - minL
+	if best := co.pickPod(maxR, minR); best != nil {
+		co.migrate(best, minR, false)
+	}
+}
+
+// pickPod selects the source pod whose move to dst minimizes the
+// post-move load spread |gap - 2*rate|; a move that would merely
+// relocate the hotspot (no strict improvement) is skipped. Returns nil
+// when no pod on src improves the spread.
+func (co *Coordinator) pickPod(src, dst *Replica) *Pod {
+	gap := co.Load(src) - co.Load(dst)
+	if gap <= 0 {
+		return nil
+	}
 	var best *Pod
 	var bestGap float64
 	for _, p := range co.pods {
-		if co.assign[p.Name] != maxR.ID {
+		if co.assign[p.Name] != src.ID {
 			continue
 		}
-		rate := co.podRate(p, maxR)
+		rate := co.podRate(p, src)
 		ng := gap - 2*rate
 		if ng < 0 {
 			ng = -ng
@@ -448,9 +544,7 @@ func (co *Coordinator) balance() {
 			best, bestGap = p, ng
 		}
 	}
-	if best != nil {
-		co.migrate(best, minR, false)
-	}
+	return best
 }
 
 // podRate is the pod's contribution to a replica's load: the summed

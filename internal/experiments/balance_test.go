@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"scotch/internal/balance"
+)
+
+// TestElasticUnderMigration pins the joint balancer's headline property:
+// the vSwitch pool grows while a pod migration lands in between — both
+// actuation paths active over the same rig — and none of it costs a
+// single client flow (replica capacity is infinite, so any loss would be
+// the balancer's fault).
+func TestElasticUnderMigration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := elasticUnderMigrationPoint(23)
+
+	if res.grows < 2 {
+		t.Errorf("grows = %d, want >= 2", res.grows)
+	}
+	if res.migrations < 1 {
+		t.Errorf("migrations = %d, want >= 1", res.migrations)
+	}
+	if res.drains < 1 {
+		t.Errorf("drains = %d, want >= 1", res.drains)
+	}
+	if res.finalPool != 2 {
+		t.Errorf("final pool = %d, want back at the floor of 2", res.finalPool)
+	}
+
+	// The interleaving is the point: grow, then migrate, then grow again.
+	switch {
+	case res.firstGrow == 0 || res.firstMigrate == 0 || res.growAfterMigrate == 0:
+		t.Errorf("missing actions: first_grow=%v first_migrate=%v grow_after_migrate=%v",
+			res.firstGrow, res.firstMigrate, res.growAfterMigrate)
+	case !(res.firstGrow < res.firstMigrate && res.firstMigrate < res.growAfterMigrate):
+		t.Errorf("want grow < migrate < grow, got %v < %v < %v",
+			res.firstGrow, res.firstMigrate, res.growAfterMigrate)
+	}
+
+	// Pod 0 (the surging pod) must have left its overloaded home.
+	last := len(res.owners) - 1
+	if res.owners[0] != 0 || res.owners[last] != 1 {
+		t.Errorf("pod0 owner path %v, want 0 -> 1", res.owners)
+	}
+
+	if res.clientSent == 0 {
+		t.Fatal("no client flows ran")
+	}
+	if res.clientFail != 0 {
+		t.Errorf("client flow loss = %.4f, want exactly 0", res.clientFail)
+	}
+}
+
+// TestReplicaScaleOut pins the escalation rung: a flash crowd saturates
+// both replicas, the SLO burn signal (not load alone) triggers a replica
+// spawn, migrations rebalance pods onto the new replica, the burn
+// recovers, and the idle cluster retires back to the floor.
+func TestReplicaScaleOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	res := replicaScaleOutPoint(31)
+
+	if res.spawns != 1 {
+		t.Errorf("spawns = %d, want exactly 1 (MaxReplicas bounds repeats)", res.spawns)
+	}
+	if res.migrations < 2 {
+		t.Errorf("migrations = %d, want >= 2 (rebalance onto the spawned replica)", res.migrations)
+	}
+	if res.retires != 1 {
+		t.Errorf("retires = %d, want 1 (idle cluster returns to the floor)", res.retires)
+	}
+	if res.finalAlive != 2 {
+		t.Errorf("final alive replicas = %d, want 2", res.finalAlive)
+	}
+
+	if res.verdictPath != "healthy->burning->healthy" {
+		t.Errorf("client-p99 verdict path = %q, want healthy->burning->healthy", res.verdictPath)
+	}
+	if res.peakBurnLong < 2 {
+		t.Errorf("peak long-window burn = %.1f, want >= 2 (the spawn threshold)", res.peakBurnLong)
+	}
+
+	// The spawn must precede every applied migration to the new replica:
+	// burn escalates, then rebalancing uses the new capacity.
+	var spawnAt, firstMigrate int64 = -1, -1
+	for _, d := range res.log {
+		if !d.Applied {
+			continue
+		}
+		switch d.Action {
+		case balance.ActionSpawnReplica:
+			if spawnAt < 0 {
+				spawnAt = int64(d.At)
+			}
+		case balance.ActionMigrate:
+			if firstMigrate < 0 {
+				firstMigrate = int64(d.At)
+			}
+		}
+	}
+	if spawnAt < 0 || firstMigrate < 0 || spawnAt >= firstMigrate {
+		t.Errorf("want spawn before first migration, got spawn=%d migrate=%d", spawnAt, firstMigrate)
+	}
+}
+
+// TestBalanceAdvisorDoesNotChangeOutput is the golden determinism check
+// for the advisor: arming an Advise-mode balancer (plus the observatory
+// it reads) must leave every experiment's output byte-identical. The
+// advisor adds policy ticks to the engine but never actuates, so the
+// experiment's own event sequence cannot shift.
+func TestBalanceAdvisorDoesNotChangeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"elastic", "cluster-migrate"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("%s not registered", id)
+			}
+			var clean bytes.Buffer
+			if err := e.Run(&clean); err != nil {
+				t.Fatal(err)
+			}
+
+			EnableObservatory()
+			EnableBalanceAdvisor()
+			defer DisableBalanceAdvisor()
+			defer DisableObservatory()
+			var advised bytes.Buffer
+			if err := e.Run(&advised); err != nil {
+				t.Fatal(err)
+			}
+
+			if !bytes.Equal(clean.Bytes(), advised.Bytes()) {
+				t.Errorf("advisor changed %s output:\n--- clean ---\n%s\n--- advised ---\n%s",
+					id, clean.String(), advised.String())
+			}
+
+			runs := CollectedBalance()
+			if len(runs) == 0 {
+				t.Fatal("no advisory balancers collected")
+			}
+			for _, nb := range runs {
+				if nb.B.Stats.Ticks == 0 {
+					t.Errorf("%s: advisor never ticked", nb.Name)
+				}
+				if n := nb.B.Stats.Grows + nb.B.Stats.Drains + nb.B.Stats.Migrations +
+					nb.B.Stats.Spawns + nb.B.Stats.Retires; n != 0 {
+					t.Errorf("%s: advise mode actuated %d times", nb.Name, n)
+				}
+			}
+		})
+	}
+}

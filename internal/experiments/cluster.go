@@ -43,6 +43,7 @@ type clusterPod struct {
 	server     *device.Host
 	clientPort uint32
 	vs         []*device.Switch
+	standby    []*device.Switch // attached but not mesh members; pool growth headroom
 	app        *scotch.App
 	name       string
 }
@@ -68,6 +69,7 @@ type clusterRigConfig struct {
 	scfg     scotch.Config
 	ccfg     cluster.Config
 	homes    []int // pod -> initial replica index; nil = round robin
+	standby  int   // standby vSwitches on pod 0 (elastic growth headroom)
 }
 
 func newClusterRig(cc clusterRigConfig) *clusterRig {
@@ -87,6 +89,13 @@ func newClusterRig(cc clusterRigConfig) *clusterRig {
 			vs := r.net.AddSwitch(fmt.Sprintf("vs%d-%d", p, j), device.OVSProfile())
 			r.net.LinkSwitches(pod.edge, vs, meshLink)
 			pod.vs = append(pod.vs, vs)
+		}
+		if p == 0 {
+			for j := 0; j < cc.standby; j++ {
+				sb := r.net.AddSwitch(fmt.Sprintf("sb%d-%d", p, j), device.OVSProfile())
+				r.net.LinkSwitches(pod.edge, sb, meshLink)
+				pod.standby = append(pod.standby, sb)
+			}
 		}
 		r.cap.Attach(pod.server)
 		r.pods = append(r.pods, pod)
@@ -120,6 +129,11 @@ func newClusterRig(cc clusterRigConfig) *clusterRig {
 		for _, vs := range pod.vs {
 			dpids = append(dpids, vs.DPID)
 		}
+		// Standbys ride in the pod's DPID set so mastership (and any
+		// later migration) covers them before the pool grows them in.
+		for _, sb := range pod.standby {
+			dpids = append(dpids, sb.DPID)
+		}
 		r.co.AddPod(pod.name, pod.app, home, dpids...)
 	}
 	r.co.Start()
@@ -136,6 +150,7 @@ func newClusterRig(cc clusterRigConfig) *clusterRig {
 			traceDelivery(tr, pod.server)
 		}
 	}
+	newClusterRunObservatory(r)
 	return r
 }
 

@@ -15,7 +15,8 @@ import (
 // properties over every registered experiment (several minutes).
 var fastIDs = []string{"table1", "fig4", "fig8", "fig9", "fig14", "elastic",
 	"scenario-multitenant", "scenario-fattree", "scenario-replay",
-	"devolve-ablation", "devolve-invalidate", "obs-slo"}
+	"devolve-ablation", "devolve-invalidate", "obs-slo",
+	"elastic-under-migration", "replica-scale-out"}
 
 func determinismIDs(t *testing.T) []string {
 	t.Helper()

@@ -19,6 +19,7 @@ func TestRegistryComplete(t *testing.T) {
 		"scenario-multitenant", "scenario-fattree", "scenario-replay",
 		"devolve-ablation", "devolve-invalidate",
 		"obs-slo",
+		"elastic-under-migration", "replica-scale-out",
 	}
 	for _, id := range want {
 		if _, ok := ByID(id); !ok {

@@ -129,5 +129,43 @@ func newRunObservatory(r *rig) *obs.Observatory {
 		Obs:  o,
 	})
 	obsState.current = o
+	newRunAdvisor(r.eng, o)
+	return o
+}
+
+// newClusterRunObservatory is newRunObservatory for the multi-pod
+// cluster rig: it additionally watches the coordinator (per-replica
+// load/liveness plus migration counters), every pod's app and switches,
+// and the shared capture's latency classes. Observation is read-only,
+// so arming it cannot change experiment output bytes.
+func newClusterRunObservatory(r *clusterRig) *obs.Observatory {
+	obsState.Lock()
+	defer obsState.Unlock()
+	if !obsState.enabled {
+		return nil
+	}
+	obsState.n++
+	o := obs.New(r.eng, obsState.cfg)
+	o.WatchCoordinator(r.co)
+	for _, pod := range r.pods {
+		o.WatchAppAs("scotch/"+pod.name, pod.app)
+		o.WatchSwitch(pod.edge)
+		for _, vs := range pod.vs {
+			o.WatchSwitch(vs)
+		}
+		for _, sb := range pod.standby {
+			o.WatchSwitch(sb)
+		}
+	}
+	lt := workload.NewLatencyTracker(nil)
+	lt.AttachCapture(r.cap)
+	o.WatchLatency(lt)
+	o.Start()
+	obsState.runs = append(obsState.runs, NamedHealth{
+		Name: fmt.Sprintf("run%d", obsState.n),
+		Obs:  o,
+	})
+	obsState.current = o
+	newRunAdvisor(r.eng, o)
 	return o
 }

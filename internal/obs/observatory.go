@@ -156,20 +156,28 @@ func (o *Observatory) Series(comp, name string, fn func() float64) {
 // switch attributed request rates, the aggregate install backlog, overlay
 // routing/drop totals, and live mesh membership. Nil-safe on both sides.
 func (o *Observatory) WatchApp(a *scotch.App) {
+	o.WatchAppAs("scotch", a)
+}
+
+// WatchAppAs registers the same signals as WatchApp under an explicit
+// component name, for rigs that observe several app instances (one per
+// cluster pod) and would otherwise collide on the shared "scotch"
+// component. Nil-safe on both sides.
+func (o *Observatory) WatchAppAs(comp string, a *scotch.App) {
 	if o == nil || a == nil {
 		return
 	}
 	for _, dpid := range a.ProtectedDPIDs() {
 		dpid := dpid
-		o.Series("scotch", fmt.Sprintf("req_rate_dpid%d", dpid), func() float64 {
+		o.Series(comp, fmt.Sprintf("req_rate_dpid%d", dpid), func() float64 {
 			return a.RequestRate(dpid)
 		})
 	}
-	o.Series("scotch", "install_backlog", func() float64 { return float64(a.InstallBacklog()) })
-	o.Series("scotch", "overlay_routed_total", func() float64 { return float64(a.Stats.OverlayRouted) })
-	o.Series("scotch", "physical_admitted_total", func() float64 { return float64(a.Stats.PhysicalAdmitted) })
-	o.Series("scotch", "dropped_total", func() float64 { return float64(a.Stats.Dropped) })
-	o.Series("scotch", "mesh_members", func() float64 { return float64(len(a.MeshMembers())) })
+	o.Series(comp, "install_backlog", func() float64 { return float64(a.InstallBacklog()) })
+	o.Series(comp, "overlay_routed_total", func() float64 { return float64(a.Stats.OverlayRouted) })
+	o.Series(comp, "physical_admitted_total", func() float64 { return float64(a.Stats.PhysicalAdmitted) })
+	o.Series(comp, "dropped_total", func() float64 { return float64(a.Stats.Dropped) })
+	o.Series(comp, "mesh_members", func() float64 { return float64(len(a.MeshMembers())) })
 	if m := a.DevolveMetrics(); m != nil {
 		o.WatchDevolve(m)
 	}

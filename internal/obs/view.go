@@ -63,6 +63,37 @@ type SLOView struct {
 	Samples uint64 `json:"samples"`
 }
 
+// Component returns the named component view, or nil when the view (or
+// the component) is absent. Views are plain data, so the result may be
+// retained freely.
+func (v *ClusterView) Component(name string) *ComponentView {
+	if v == nil {
+		return nil
+	}
+	for i := range v.Components {
+		if v.Components[i].Name == name {
+			return &v.Components[i]
+		}
+	}
+	return nil
+}
+
+// Last returns the newest sampled value of the named series, with
+// ok=false when the component is nil, the series is unknown, or it has
+// no samples yet. This is the accessor signal extractors (the joint
+// balancer) use: policy reads the freshest point, not the window stats.
+func (cv *ComponentView) Last(name string) (v float64, ok bool) {
+	if cv == nil {
+		return 0, false
+	}
+	for i := range cv.Series {
+		if cv.Series[i].Name == name && cv.Series[i].Summary.N > 0 {
+			return cv.Series[i].Summary.Last, true
+		}
+	}
+	return 0, false
+}
+
 // Snapshot assembles a ClusterView from the current ring and SLO state.
 // Safe to call from any goroutine (e.g. a live /statusz handler) while
 // the simulation samples; returns an empty view for a nil observatory.
