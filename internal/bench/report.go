@@ -46,8 +46,11 @@ type Report struct {
 
 // SchemaVersion identifies the report layout; bump on incompatible change.
 // v2 added requested_parallelism/warning and clamped parallelism to the
-// schedulable CPU count.
-const SchemaVersion = 2
+// schedulable CPU count. v3 made the serial and parallel passes
+// measured identically: both run warm (after an untimed warm-up pass),
+// where v2 timed a cold serial pass against a warm parallel pass and so
+// overstated the parallel speedup.
+const SchemaVersion = 3
 
 // Collect runs the given experiments serially (measuring per-experiment
 // wall time and allocations) and then through the parallel runner, and
@@ -78,26 +81,40 @@ func Collect(ctx context.Context, ids []string, parallelism int) (*Report, error
 		parallelism = maxProcs
 	}
 
+	// Untimed warm-up: every experiment runs once before anything is
+	// measured. Without it the serial pass (first) would pay one-time
+	// process costs — lazy initialization, heap growth, code paths still
+	// cold in the branch predictor — that the parallel pass (second)
+	// would not, overstating the speedup. After the warm-up the two
+	// measured passes see the same process state.
+	if _, err := experiments.RunAll(ctx, ids, parallelism); err != nil {
+		return nil, err
+	}
+
 	// Serial pass: parallelism 1 keeps every run single-threaded so the
-	// runtime.MemStats deltas below are attributable per experiment.
+	// runtime.MemStats deltas below are attributable per experiment. The
+	// GC before each run keeps the deltas free of another run's debris.
 	var ms0, ms1 runtime.MemStats
 	serial := make([]experiments.RunResult, 0, len(ids))
 	allocs := make([]uint64, 0, len(ids))
 	heap := make([]uint64, 0, len(ids))
-	serialStart := time.Now()
+	var serialWall time.Duration
 	for _, id := range ids {
+		runtime.GC() // outside the timed window; the parallel pass gets the same treatment
 		runtime.ReadMemStats(&ms0)
+		start := time.Now()
 		res, err := experiments.RunAll(ctx, []string{id}, 1)
 		if err != nil {
 			return nil, err
 		}
+		serialWall += time.Since(start)
 		runtime.ReadMemStats(&ms1)
 		serial = append(serial, res[0])
 		allocs = append(allocs, ms1.Mallocs-ms0.Mallocs)
 		heap = append(heap, ms1.TotalAlloc-ms0.TotalAlloc)
 	}
-	serialWall := time.Since(serialStart)
 
+	runtime.GC()
 	parallelStart := time.Now()
 	parallel, err := experiments.RunAll(ctx, ids, parallelism)
 	if err != nil {

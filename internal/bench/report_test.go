@@ -21,8 +21,8 @@ func TestParallelismClampedToSchedulableCPUs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r.SchemaVersion != 2 {
-		t.Errorf("schema version = %d, want 2", r.SchemaVersion)
+	if r.SchemaVersion != SchemaVersion {
+		t.Errorf("schema version = %d, want %d", r.SchemaVersion, SchemaVersion)
 	}
 	if r.Parallelism != 1 {
 		t.Errorf("effective parallelism = %d, want clamped to 1", r.Parallelism)
@@ -53,5 +53,39 @@ func TestDefaultParallelismIsSchedulable(t *testing.T) {
 	}
 	if !r.OutputIdentical {
 		t.Error("serial and parallel outputs differ")
+	}
+}
+
+// TestWarmMeasurementAgreement pins the v3 fairness fix: with both
+// passes measured warm and parallelism forced to 1, the serial and
+// parallel passes run the exact same work in the same conditions, so
+// each experiment's two wall times must agree within scheduling noise.
+// Pre-fix, the serial pass ran cold (first in the process) and the
+// parallel pass warm, so the serial numbers carried one-time costs the
+// parallel numbers did not — on this repo's suite that alone
+// manufactured a phantom "speedup" above the noise bound below.
+func TestWarmMeasurementAgreement(t *testing.T) {
+	old := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(old)
+
+	r, err := Collect(context.Background(), []string{"fig14", "devolve-invalidate"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputIdentical {
+		t.Fatal("serial and parallel outputs differ")
+	}
+	for _, e := range r.Experiments {
+		if e.NsPerOp <= 0 || e.ParallelNs <= 0 {
+			t.Fatalf("%s: non-positive wall time (%d serial, %d parallel)", e.ID, e.NsPerOp, e.ParallelNs)
+		}
+		ratio := float64(e.NsPerOp) / float64(e.ParallelNs)
+		if ratio < 1.0/3 || ratio > 3 {
+			t.Errorf("%s: serial %dns vs parallel %dns (ratio %.2f); warm passes at parallelism 1 must agree within noise",
+				e.ID, e.NsPerOp, e.ParallelNs, ratio)
+		}
+	}
+	if r.Speedup < 1.0/3 || r.Speedup > 3 {
+		t.Errorf("aggregate speedup %.2f at parallelism 1; want ~1 within noise", r.Speedup)
 	}
 }

@@ -35,8 +35,13 @@ func (f *FlowRecord) Completed() bool {
 
 // Capture aggregates flow records for one experiment.
 type Capture struct {
-	eng     *sim.Engine
-	flows   map[uint64]*FlowRecord
+	eng sim.Proc
+	// flows indexes records by flow ID: IDs are dense (1, 2, 3, ...), so
+	// record i lives at flows[i-1]. arena is the current allocation block
+	// records are carved from, so registering a flow costs one heap
+	// allocation per block of flows rather than one per flow.
+	flows   []*FlowRecord
+	arena   []FlowRecord
 	byKey   map[netaddr.FlowKey]*FlowRecord
 	latency map[string]*metrics.Histogram // per-class one-way packet delay
 	nextID  uint64
@@ -49,10 +54,9 @@ type Capture struct {
 }
 
 // New returns an empty capture.
-func New(eng *sim.Engine) *Capture {
+func New(eng sim.Proc) *Capture {
 	return &Capture{
 		eng:     eng,
-		flows:   make(map[uint64]*FlowRecord),
 		byKey:   make(map[netaddr.FlowKey]*FlowRecord),
 		latency: make(map[string]*metrics.Histogram),
 	}
@@ -62,8 +66,13 @@ func New(eng *sim.Engine) *Capture {
 // returned record's ID must be stamped into packet Meta.FlowID.
 func (c *Capture) NewFlow(key netaddr.FlowKey, class string, expected int) *FlowRecord {
 	c.nextID++
-	f := &FlowRecord{ID: c.nextID, Key: key, Class: class, Expected: expected, FirstSent: c.eng.Now()}
-	c.flows[f.ID] = f
+	if len(c.arena) == 0 {
+		c.arena = make([]FlowRecord, 256)
+	}
+	f := &c.arena[0]
+	c.arena = c.arena[1:]
+	*f = FlowRecord{ID: c.nextID, Key: key, Class: class, Expected: expected, FirstSent: c.eng.Now()}
+	c.flows = append(c.flows, f)
 	c.byKey[key] = f
 	return f
 }
@@ -84,8 +93,8 @@ func (c *Capture) RecordSend(pkt *packet.Packet) {
 // packets that crossed a Packet-In/Packet-Out wire round trip lose their
 // simulation metadata, so the 5-tuple is the fallback identity.
 func (c *Capture) lookup(pkt *packet.Packet) *FlowRecord {
-	if f := c.flows[pkt.Meta.FlowID]; f != nil {
-		return f
+	if id := pkt.Meta.FlowID; id >= 1 && id <= uint64(len(c.flows)) {
+		return c.flows[id-1]
 	}
 	return c.byKey[pkt.FlowKey()]
 }
@@ -139,9 +148,8 @@ func (c *Capture) Attach(h *device.Host) {
 // Aggregates must not inherit map iteration order: histogram fills and
 // float sums would differ between byte-identical reruns.
 func (c *Capture) eachFlow(class string, fn func(*FlowRecord)) {
-	for id := uint64(1); id <= c.nextID; id++ {
-		f := c.flows[id]
-		if f == nil || (class != "" && f.Class != class) {
+	for _, f := range c.flows {
+		if class != "" && f.Class != class {
 			continue
 		}
 		fn(f)

@@ -147,7 +147,7 @@ func TestAttachChainsObservers(t *testing.T) {
 
 	f := c.NewFlow(key(3), "client", 1)
 	src := device.NewHost(eng, "src", srcIP, netaddr.MakeMAC(2))
-	device.Connect(eng, src, 1, h, 1, device.LinkConfig{})
+	device.Connect(src, 1, h, 1, device.LinkConfig{})
 	p := packet.NewTCP(srcIP, dstIP, 3, 80, 0)
 	p.Meta.FlowID = f.ID
 	c.RecordSend(p)

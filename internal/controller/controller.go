@@ -73,12 +73,15 @@ type SwitchHandle struct {
 	roleCB       map[uint32]func(*openflow.RoleReply)
 	echoPending  int
 	lastEchoSent sim.Time
+	echoReq      *openflow.EchoRequest // reusable heartbeat probe
 	dead         bool
 }
 
-// Controller is the central OpenFlow controller.
+// Controller is the central OpenFlow controller. Eng is the scheduling
+// context the controller runs on: the shared engine in serial mode, the
+// controller's lane in a sharded run.
 type Controller struct {
-	Eng *sim.Engine
+	Eng sim.Proc
 	Net *topo.Network
 
 	apps     []App
@@ -110,7 +113,7 @@ type pinJob struct {
 }
 
 // New creates a controller over the given network.
-func New(eng *sim.Engine, net *topo.Network) *Controller {
+func New(eng sim.Proc, net *topo.Network) *Controller {
 	return &Controller{
 		Eng:      eng,
 		Net:      net,
@@ -186,7 +189,7 @@ func (c *Controller) Connect(sw *device.Switch) *SwitchHandle {
 		roleCB:       make(map[uint32]func(*openflow.RoleReply)),
 	}
 	c.switches[sw.DPID] = h
-	h.connID = sw.AttachController(c.receive)
+	h.connID = sw.AttachControllerOn(c.Eng, c.receive)
 	h.send(&openflow.Hello{})
 	h.send(&openflow.FeaturesRequest{})
 	return h
@@ -240,7 +243,7 @@ func (c *Controller) Reconnect() {
 	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
 	for _, dpid := range dpids {
 		h := c.switches[dpid]
-		h.connID = h.Dev.AttachController(c.receive)
+		h.connID = h.Dev.AttachControllerOn(c.Eng, c.receive)
 		h.role = openflow.RoleEqual
 		h.echoPending = 0
 		h.send(&openflow.Hello{})
@@ -284,7 +287,7 @@ func (h *SwitchHandle) PushPolicy(apply func()) {
 		return
 	}
 	h.ctrl.Stats.PolicyPushes++
-	h.ctrl.Eng.Schedule(h.Dev.Profile.CtrlDelay, apply)
+	h.ctrl.Eng.Defer(h.Dev.Proc(), h.Dev.Profile.CtrlDelay, apply)
 }
 
 // InstallFlow sends a FlowMod to the switch.
@@ -445,7 +448,10 @@ func (c *Controller) HeartbeatTick(dpids []uint64, misses int) {
 		}
 		h.echoPending++
 		h.lastEchoSent = c.Eng.Now()
-		h.send(&openflow.EchoRequest{Data: []byte{byte(dpid)}})
+		if h.echoReq == nil {
+			h.echoReq = &openflow.EchoRequest{Data: []byte{byte(dpid)}}
+		}
+		h.send(h.echoReq)
 	}
 }
 

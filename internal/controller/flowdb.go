@@ -31,6 +31,9 @@ type FlowInfo struct {
 // FlowInfoDB indexes FlowInfo by flow key.
 type FlowInfoDB struct {
 	flows map[netaddr.FlowKey]*FlowInfo
+	// arena is the current block new records are carved from, so storing
+	// a flow costs one heap allocation per block rather than one per flow.
+	arena []FlowInfo
 }
 
 // NewFlowInfoDB returns an empty database.
@@ -43,6 +46,20 @@ func (db *FlowInfoDB) Lookup(key netaddr.FlowKey) *FlowInfo { return db.flows[ke
 
 // Put stores (replacing) a record.
 func (db *FlowInfoDB) Put(fi *FlowInfo) { db.flows[fi.Key] = fi }
+
+// Store copies fi into the database's record arena and indexes it,
+// returning the stored record. Hot paths use it instead of Put to avoid
+// allocating each FlowInfo individually.
+func (db *FlowInfoDB) Store(fi FlowInfo) *FlowInfo {
+	if len(db.arena) == 0 {
+		db.arena = make([]FlowInfo, 128)
+	}
+	p := &db.arena[0]
+	db.arena = db.arena[1:]
+	*p = fi
+	db.flows[fi.Key] = p
+	return p
+}
 
 // Delete removes the record for key.
 func (db *FlowInfoDB) Delete(key netaddr.FlowKey) { delete(db.flows, key) }

@@ -46,17 +46,14 @@ func (r *ReactiveRouter) HandlePacketIn(sw *SwitchHandle, pin *openflow.PacketIn
 	}
 	match := flowtable.ExactMatch(key)
 	r.C.InstallPath(hops, func(h topo.Hop) *openflow.FlowMod {
-		return &openflow.FlowMod{
-			Command:     openflow.FlowAdd,
-			Priority:    r.Priority,
-			IdleTimeout: uint16(r.IdleTimeout / time.Second),
-			Match:       match,
-			Instructions: []openflow.Instruction{
-				openflow.ApplyActions(openflow.OutputAction(h.OutPort)),
-			},
-		}
+		fm := openflow.FlowMod1(openflow.OutputAction(h.OutPort))
+		fm.Command = openflow.FlowAdd
+		fm.Priority = r.Priority
+		fm.IdleTimeout = uint16(r.IdleTimeout / time.Second)
+		fm.Match = match
+		return fm
 	})
-	r.C.FlowDB.Put(&FlowInfo{
+	r.C.FlowDB.Store(FlowInfo{
 		Key:         key,
 		FirstHop:    sw.DPID,
 		IngressPort: pin.Match.InPort,
@@ -64,12 +61,8 @@ func (r *ReactiveRouter) HandlePacketIn(sw *SwitchHandle, pin *openflow.PacketIn
 	})
 	// Forward the first packet explicitly so it is not lost while rules
 	// propagate.
-	sw.SendPacketOut(&openflow.PacketOut{
-		BufferID: 0xffffffff,
-		InPort:   pin.Match.InPort,
-		Actions:  []openflow.Action{openflow.OutputAction(hops[0].OutPort)},
-		Data:     pin.Data,
-	})
+	sw.SendPacketOut(openflow.PacketOut1(pin.Match.InPort,
+		openflow.OutputAction(hops[0].OutPort), pin.Data))
 	r.FlowsRouted++
 	return true
 }

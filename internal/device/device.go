@@ -12,6 +12,11 @@ import (
 type Node interface {
 	// Name returns the node's unique name.
 	Name() string
+	// Proc returns the scheduling context the node runs on: the shared
+	// engine in serial mode, the node's partition lane in sharded mode.
+	// Links and tunnels deliver into the destination node's Proc, which
+	// is what lets partitions simulate concurrently.
+	Proc() sim.Proc
 	// Receive delivers a packet arriving on one of the node's ports.
 	Receive(pkt *packet.Packet, port *Port)
 	// attachPort registers a new port on the node.
@@ -62,23 +67,27 @@ type LinkConfig struct {
 const defaultQueueBytes = 256 << 10
 
 // Link is a full-duplex point-to-point link with serialization delay,
-// propagation delay, and a finite per-direction queue.
+// propagation delay, and a finite per-direction queue. All per-link state
+// is kept per direction so the two endpoints may live on different
+// partition lanes of a sharded engine: each lane only ever touches its
+// own direction's slots.
 type Link struct {
-	eng  *sim.Engine
 	a, b *Port
 	cfg  LinkConfig
 
 	busyUntil [2]sim.Time
 	down      bool
-	Drops     uint64
+	drops     [2]uint64 // indexed by transmit direction
 }
 
 // Connect creates a link between new ports aPort on a and bPort on b.
-func Connect(eng *sim.Engine, a Node, aPort uint32, b Node, bPort uint32, cfg LinkConfig) *Link {
+// Packets are timed against the sender's clock and delivered on the
+// receiver's Proc, so the link itself needs no engine reference.
+func Connect(a Node, aPort uint32, b Node, bPort uint32, cfg LinkConfig) *Link {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = defaultQueueBytes
 	}
-	l := &Link{eng: eng, cfg: cfg}
+	l := &Link{cfg: cfg}
 	pa := &Port{ID: aPort, Owner: a, Link: l}
 	pb := &Port{ID: bPort, Owner: b, Link: l}
 	pa.peer, pb.peer = pb, pa
@@ -99,6 +108,9 @@ func (l *Link) SetDown(down bool) { l.down = down }
 // Down reports whether the link is currently forced down.
 func (l *Link) Down() bool { return l.down }
 
+// Drops returns the total packets discarded in both directions.
+func (l *Link) Drops() uint64 { return l.drops[0] + l.drops[1] }
+
 func (l *Link) dir(from *Port) int {
 	if from == l.a {
 		return 0
@@ -107,12 +119,13 @@ func (l *Link) dir(from *Port) int {
 }
 
 func (l *Link) transmit(pkt *packet.Packet, from *Port) {
+	d := l.dir(from)
 	if l.down {
-		l.Drops++
+		l.drops[d]++
 		return
 	}
-	now := l.eng.Now()
-	d := l.dir(from)
+	src := from.Owner.Proc()
+	now := src.Now()
 	start := l.busyUntil[d]
 	if start < now {
 		start = now
@@ -123,13 +136,20 @@ func (l *Link) transmit(pkt *packet.Packet, from *Port) {
 		// Backlog check: bytes already committed but not yet on the wire.
 		backlog := float64((start - now).Seconds()) * l.cfg.RateBps / 8
 		if int(backlog) > l.cfg.QueueBytes {
-			l.Drops++
+			l.drops[d]++
 			return
 		}
 	}
 	l.busyUntil[d] = start + txTime
 	to := from.peer
-	l.eng.At(start+txTime+l.cfg.Delay, func() {
-		to.Owner.Receive(pkt, to)
-	})
+	// Propagation delay is the sharded engine's lookahead floor: delivery
+	// lands on the receiver's lane at least cfg.Delay in the future.
+	src.DeferCall(to.Owner.Proc(), start+txTime+l.cfg.Delay-now, deliverLinkPkt, to, pkt)
+}
+
+// deliverLinkPkt is the static delivery callback for every link in the
+// model, scheduled via DeferCall so per-packet transit allocates nothing.
+func deliverLinkPkt(a1, a2 any) {
+	to := a1.(*Port)
+	to.Owner.Receive(a2.(*packet.Packet), to)
 }

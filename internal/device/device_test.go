@@ -70,7 +70,7 @@ func TestLinkDelayAndDelivery(t *testing.T) {
 	eng := sim.New(1)
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, h2, 1, LinkConfig{Delay: 3 * time.Millisecond})
+	Connect(h1, 1, h2, 1, LinkConfig{Delay: 3 * time.Millisecond})
 	var at sim.Time
 	h2.OnReceive = func(_ *packet.Packet, now sim.Time) { at = now }
 	h1.Send(packet.NewTCP(ipA, ipB, 1, 2, packet.FlagSYN))
@@ -87,7 +87,7 @@ func TestHostIgnoresStrayPackets(t *testing.T) {
 	eng := sim.New(1)
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, h2, 1, LinkConfig{})
+	Connect(h1, 1, h2, 1, LinkConfig{})
 	h1.Send(packet.NewTCP(ipA, netaddr.MakeIPv4(9, 9, 9, 9), 1, 2, 0))
 	eng.RunUntil(time.Second)
 	if h2.Received != 0 {
@@ -100,14 +100,14 @@ func TestLinkSerializationAndQueueDrop(t *testing.T) {
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
 	// 1 Mbps link, tiny queue: a burst must overflow.
-	link := Connect(eng, h1, 1, h2, 1, LinkConfig{RateBps: 1e6, QueueBytes: 200})
+	link := Connect(h1, 1, h2, 1, LinkConfig{RateBps: 1e6, QueueBytes: 200})
 	for i := 0; i < 50; i++ {
 		p := packet.NewTCP(ipA, ipB, uint16(i), 2, 0)
 		p.Size = 1500
 		h1.Send(p)
 	}
 	eng.RunUntil(10 * time.Second)
-	if link.Drops == 0 {
+	if link.Drops() == 0 {
 		t.Fatal("no drops on overflowing link")
 	}
 	if h2.Received == 0 || h2.Received == 50 {
@@ -120,8 +120,8 @@ func TestSwitchForwardsWithRule(t *testing.T) {
 	sw := NewSwitch(eng, "s1", 1, fastProfile())
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, sw, 1, LinkConfig{})
-	Connect(eng, sw, 2, h2, 1, LinkConfig{})
+	Connect(h1, 1, sw, 1, LinkConfig{})
+	Connect(sw, 2, h2, 1, LinkConfig{})
 	sink := &ctrlSink{t: t}
 	sw.SetController(sink.fn)
 
@@ -145,7 +145,7 @@ func TestSwitchTableMissGeneratesPacketIn(t *testing.T) {
 	eng := sim.New(1)
 	sw := NewSwitch(eng, "s1", 7, fastProfile())
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
-	Connect(eng, h1, 1, sw, 3, LinkConfig{})
+	Connect(h1, 1, sw, 3, LinkConfig{})
 	sink := &ctrlSink{t: t}
 	sw.SetController(sink.fn)
 
@@ -182,7 +182,7 @@ func TestOFAPacketInSaturation(t *testing.T) {
 	prof.PacketInQueue = 10
 	sw := NewSwitch(eng, "s1", 1, prof)
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
-	Connect(eng, h1, 1, sw, 1, LinkConfig{})
+	Connect(h1, 1, sw, 1, LinkConfig{})
 	sink := &ctrlSink{t: t}
 	sw.SetController(sink.fn)
 
@@ -329,8 +329,8 @@ func TestFlowStatsReply(t *testing.T) {
 	sw := NewSwitch(eng, "s1", 1, fastProfile())
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, sw, 1, LinkConfig{})
-	Connect(eng, sw, 2, h2, 1, LinkConfig{})
+	Connect(h1, 1, sw, 1, LinkConfig{})
+	Connect(sw, 2, h2, 1, LinkConfig{})
 	sink := &ctrlSink{t: t}
 	sw.SetController(sink.fn)
 
@@ -386,7 +386,7 @@ func TestPacketOutExecutesActions(t *testing.T) {
 	eng := sim.New(1)
 	sw := NewSwitch(eng, "s1", 1, fastProfile())
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, sw, 2, h2, 1, LinkConfig{})
+	Connect(sw, 2, h2, 1, LinkConfig{})
 	p := packet.NewTCP(ipA, ipB, 1, 80, packet.FlagSYN)
 	send(t, sw, &openflow.PacketOut{
 		BufferID: 0xffffffff, InPort: openflow.PortController,
@@ -405,9 +405,9 @@ func TestMPLSTunnelBetweenSwitches(t *testing.T) {
 	s2 := NewSwitch(eng, "s2", 2, fastProfile())
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, s1, 1, LinkConfig{})
-	Connect(eng, s2, 1, h2, 1, LinkConfig{})
-	ConnectTunnel(eng, s1, 100, s2, 100, TunnelConfig{
+	Connect(h1, 1, s1, 1, LinkConfig{})
+	Connect(s2, 1, h2, 1, LinkConfig{})
+	ConnectTunnel(s1, 100, s2, 100, TunnelConfig{
 		Type: TunnelMPLS, ID: 777, Delay: time.Millisecond, StripInnerB: true,
 	})
 	sink := &ctrlSink{t: t}
@@ -454,8 +454,8 @@ func TestGRETunnelCarriesKey(t *testing.T) {
 	s1 := NewSwitch(eng, "s1", 1, fastProfile())
 	s2 := NewSwitch(eng, "s2", 2, fastProfile())
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
-	Connect(eng, h1, 1, s1, 1, LinkConfig{})
-	ConnectTunnel(eng, s1, 100, s2, 100, TunnelConfig{
+	Connect(h1, 1, s1, 1, LinkConfig{})
+	ConnectTunnel(s1, 100, s2, 100, TunnelConfig{
 		Type: TunnelGRE, ID: 9,
 		LocalIP: netaddr.MakeIPv4(192, 168, 0, 1), RemoteIP: netaddr.MakeIPv4(192, 168, 0, 2),
 		StripInnerB: true,
@@ -493,9 +493,9 @@ func TestSelectGroupSplitsFlows(t *testing.T) {
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	hA := NewHost(eng, "ha", netaddr.MakeIPv4(10, 0, 9, 1), netaddr.MakeMAC(11))
 	hB := NewHost(eng, "hb", netaddr.MakeIPv4(10, 0, 9, 2), netaddr.MakeMAC(12))
-	Connect(eng, h1, 1, sw, 1, LinkConfig{})
-	Connect(eng, sw, 2, hA, 1, LinkConfig{})
-	Connect(eng, sw, 3, hB, 1, LinkConfig{})
+	Connect(h1, 1, sw, 1, LinkConfig{})
+	Connect(sw, 2, hA, 1, LinkConfig{})
+	Connect(sw, 3, hB, 1, LinkConfig{})
 	var gotA, gotB int
 	hA.OnReceive = func(*packet.Packet, sim.Time) { gotA++ }
 	hB.OnReceive = func(*packet.Packet, sim.Time) { gotB++ }
@@ -551,8 +551,8 @@ func TestFirewallStatefulness(t *testing.T) {
 	fw := NewFirewall(eng, "fw", 100*time.Microsecond)
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, fw, 1, LinkConfig{})
-	Connect(eng, fw, 2, h2, 1, LinkConfig{})
+	Connect(h1, 1, fw, 1, LinkConfig{})
+	Connect(fw, 2, h2, 1, LinkConfig{})
 
 	// Mid-flow packet without established state: rejected.
 	h1.Send(packet.NewTCP(ipA, ipB, 1000, 80, packet.FlagACK))
@@ -576,8 +576,8 @@ func TestFirewallReverseDirection(t *testing.T) {
 	fw := NewFirewall(eng, "fw", 0)
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, fw, 1, LinkConfig{})
-	Connect(eng, fw, 2, h2, 1, LinkConfig{})
+	Connect(h1, 1, fw, 1, LinkConfig{})
+	Connect(fw, 2, h2, 1, LinkConfig{})
 	h1.Send(packet.NewTCP(ipA, ipB, 1000, 80, packet.FlagSYN))
 	eng.RunUntil(10 * time.Millisecond)
 	// Reverse direction of the established flow passes without a SYN.
@@ -596,8 +596,8 @@ func TestLoadBalancerConsistentMapping(t *testing.T) {
 	lb := NewLoadBalancer(eng, "lb", vip, []netaddr.IPv4{b1, b2}, 0)
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	sink := NewHost(eng, "sink", b1, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, lb, 1, LinkConfig{})
-	Connect(eng, lb, 2, sink, 1, LinkConfig{})
+	Connect(h1, 1, lb, 1, LinkConfig{})
+	Connect(lb, 2, sink, 1, LinkConfig{})
 
 	var dsts []netaddr.IPv4
 	sink.OnReceive = func(p *packet.Packet, _ sim.Time) { dsts = append(dsts, p.IP.Dst) }

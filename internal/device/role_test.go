@@ -86,8 +86,8 @@ func TestSlaveWritesRejectedAndNoAsyncDelivery(t *testing.T) {
 	sw := NewSwitch(eng, "s1", 1, fastProfile())
 	h1 := NewHost(eng, "h1", ipA, netaddr.MakeMAC(1))
 	h2 := NewHost(eng, "h2", ipB, netaddr.MakeMAC(2))
-	Connect(eng, h1, 1, sw, 1, LinkConfig{Delay: time.Millisecond})
-	Connect(eng, sw, 2, h2, 1, LinkConfig{Delay: time.Millisecond})
+	Connect(h1, 1, sw, 1, LinkConfig{Delay: time.Millisecond})
+	Connect(sw, 2, h2, 1, LinkConfig{Delay: time.Millisecond})
 
 	cm, master := roleConn(t, sw)
 	cs, slave := roleConn(t, sw)

@@ -54,7 +54,7 @@ type LocalAgent interface {
 type Switch struct {
 	name    string
 	DPID    uint64
-	eng     *sim.Engine
+	proc    sim.Proc
 	Profile Profile
 
 	Pipeline *flowtable.Pipeline
@@ -63,8 +63,14 @@ type Switch struct {
 
 	dataSrv     *sim.Server[dataItem]
 	pktInSrv    *sim.Server[dataItem]
-	ruleSrv     *sim.Server[any]
+	ruleSrv     *sim.Server[ruleItem]
 	insertMeter *metrics.RateMeter
+	// ruleArena is the block new flow rules are carved from: one heap
+	// allocation per block of installs instead of one per rule. Slots of
+	// replaced or expired rules are not reused — acceptable at rule sizes,
+	// and it keeps removed-rule references (flow-removed notifications,
+	// stats snapshots) valid without lifetime tracking.
+	ruleArena []flowtable.Rule
 
 	// conns are the switch's controller connections in attach order. Each
 	// has an OpenFlow role: asynchronous messages (Packet-In, Flow-Removed,
@@ -95,11 +101,11 @@ type dataItem struct {
 
 // NewSwitch creates a switch with the given profile and starts its expiry
 // sweeper.
-func NewSwitch(eng *sim.Engine, name string, dpid uint64, prof Profile) *Switch {
+func NewSwitch(eng sim.Proc, name string, dpid uint64, prof Profile) *Switch {
 	sw := &Switch{
 		name:        name,
 		DPID:        dpid,
-		eng:         eng,
+		proc:        eng,
 		Profile:     prof,
 		Pipeline:    flowtable.NewPipeline(prof.NumTables, prof.TableCapacity),
 		ports:       make(map[uint32]*Port),
@@ -110,13 +116,16 @@ func NewSwitch(eng *sim.Engine, name string, dpid uint64, prof Profile) *Switch 
 	sw.pktInSrv = sim.NewServer(eng, prof.PacketInRate, prof.PacketInQueue, sw.emitPacketIn)
 	sw.pktInSrv.OnDrop(func(dataItem) { sw.Stats.PacketInDropped++ })
 	sw.ruleSrv = sim.NewServer(eng, prof.RuleInsertRate, prof.RuleQueue, sw.processRule)
-	sw.ruleSrv.OnDrop(func(any) { sw.Stats.InsertQueueDrop++ })
+	sw.ruleSrv.OnDrop(func(ruleItem) { sw.Stats.InsertQueueDrop++ })
 	eng.Every(time.Second, sw.sweepExpired)
 	return sw
 }
 
 // Name implements Node.
 func (sw *Switch) Name() string { return sw.name }
+
+// Proc implements Node.
+func (sw *Switch) Proc() sim.Proc { return sw.proc }
 
 func (sw *Switch) attachPort(p *Port) { sw.ports[p.ID] = p }
 
@@ -129,27 +138,46 @@ func (sw *Switch) detachPort(p *Port) {
 // Port returns the port with the given id, or nil.
 func (sw *Switch) Port(id uint32) *Port { return sw.ports[id] }
 
-// ctrlConn is one controller connection at the switch's OFA.
+// ctrlConn is one controller connection at the switch's OFA. proc is the
+// scheduling context the controller end runs on: switch-to-controller
+// messages are deferred onto it, and controller-to-switch deliveries
+// originate from it, which is what keeps the control channel safe when
+// switch and controller live on different partition lanes.
 type ctrlConn struct {
 	id   int
 	send func(dpid uint64, msg []byte)
 	role uint32
+	proc sim.Proc
 }
 
 // SetController installs fn as the switch's only controller connection
 // (id 0, equal role), replacing any existing connections. This is the
 // single-controller fast path; clustered controllers use AttachController.
+// The connection's far end is assumed to share the switch's Proc — use
+// SetControllerOn when the controller runs elsewhere.
 func (sw *Switch) SetController(fn func(dpid uint64, msg []byte)) {
-	sw.conns = []*ctrlConn{{id: 0, send: fn, role: openflow.RoleEqual}}
+	sw.SetControllerOn(sw.proc, fn)
+}
+
+// SetControllerOn is SetController with an explicit controller-side Proc.
+func (sw *Switch) SetControllerOn(proc sim.Proc, fn func(dpid uint64, msg []byte)) {
+	sw.conns = []*ctrlConn{{id: 0, send: fn, role: openflow.RoleEqual, proc: proc}}
 	sw.nextConn = 1
 }
 
 // AttachController adds a controller connection (equal role until a
-// RoleRequest changes it) and returns its connection id.
+// RoleRequest changes it) whose far end shares the switch's Proc, and
+// returns its connection id.
 func (sw *Switch) AttachController(fn func(dpid uint64, msg []byte)) int {
+	return sw.AttachControllerOn(sw.proc, fn)
+}
+
+// AttachControllerOn is AttachController with an explicit controller-side
+// Proc.
+func (sw *Switch) AttachControllerOn(proc sim.Proc, fn func(dpid uint64, msg []byte)) int {
 	id := sw.nextConn
 	sw.nextConn++
-	sw.conns = append(sw.conns, &ctrlConn{id: id, send: fn, role: openflow.RoleEqual})
+	sw.conns = append(sw.conns, &ctrlConn{id: id, send: fn, role: openflow.RoleEqual, proc: proc})
 	return id
 }
 
@@ -294,11 +322,11 @@ func (sw *Switch) InsertBacklog() int { return sw.ruleSrv.QueueLen() }
 
 // processData is the data-plane lookup stage.
 func (sw *Switch) processData(it dataItem) {
-	now := sw.eng.Now()
+	now := sw.proc.Now()
 	// TCAM write stall (Fig. 10): drop the packet with probability equal
 	// to the fraction of time the pipeline is blocked by rule insertions.
 	if stall := sw.Profile.StallFraction(sw.insertMeter.Rate(now)); stall > 0 &&
-		sw.eng.Rand().Float64() < stall {
+		sw.proc.Rand().Float64() < stall {
 		sw.Stats.StallDrops++
 		return
 	}
@@ -370,7 +398,15 @@ func (sw *Switch) executeCtx(pkt *packet.Packet, inPort uint32, actions []openfl
 			if out == nil {
 				continue
 			}
-			sent := pkt.Clone()
+			// The final action of a top-level list transfers ownership of
+			// the packet instead of cloning: every execute caller discards
+			// its reference afterward, and nothing below this loop touches
+			// pkt again. Group buckets (depth > 0) still clone, because
+			// the caller's action list continues after the group action.
+			sent := pkt
+			if depth != 0 || i != len(actions)-1 {
+				sent = pkt.Clone()
+			}
 			if sw.OnForward != nil {
 				sw.OnForward(sent, out)
 			}
@@ -413,7 +449,6 @@ func (sw *Switch) sendAsync(m openflow.Message) {
 		if c.role == openflow.RoleSlave {
 			continue
 		}
-		send := c.send
 		delay := sw.Profile.CtrlDelay
 		if sw.chFaults != nil {
 			v := sw.chFaults.Verdict()
@@ -422,11 +457,23 @@ func (sw *Switch) sendAsync(m openflow.Message) {
 			}
 			delay += v.Delay
 			if v.Duplicate {
-				sw.eng.Schedule(delay, func() { send(dpid, b) })
+				sw.proc.DeferBytes(c.proc, delay, deliverToConn, c.send, int(dpid), b)
 			}
 		}
-		sw.eng.Schedule(delay, func() { send(dpid, b) })
+		sw.proc.DeferBytes(c.proc, delay, deliverToConn, c.send, int(dpid), b)
 	}
+}
+
+// deliverToConn is the DeferBytes target for switch-to-controller sends:
+// obj is the connection's send func and id the switch DPID, so the
+// deferred delivery allocates nothing (func values are pointer-shaped).
+func deliverToConn(obj any, dpid int, b []byte) {
+	obj.(func(dpid uint64, msg []byte))(uint64(dpid), b)
+}
+
+// deliverControl is the DeferBytes target for controller-to-switch sends.
+func deliverControl(obj any, connID int, b []byte) {
+	obj.(*Switch).handleControl(connID, b)
 }
 
 // sendToConnXID transmits a reply to one connection with an explicit
@@ -440,7 +487,6 @@ func (sw *Switch) sendToConnXID(connID int, m openflow.Message, xid uint32) {
 	if err != nil {
 		panic(fmt.Sprintf("device: marshal %v: %v", m.Type(), err))
 	}
-	send := c.send
 	dpid := sw.DPID
 	delay := sw.Profile.CtrlDelay
 	if sw.chFaults != nil {
@@ -450,10 +496,10 @@ func (sw *Switch) sendToConnXID(connID int, m openflow.Message, xid uint32) {
 		}
 		delay += v.Delay
 		if v.Duplicate {
-			sw.eng.Schedule(delay, func() { send(dpid, b) })
+			sw.proc.DeferBytes(c.proc, delay, deliverToConn, c.send, int(dpid), b)
 		}
 	}
-	sw.eng.Schedule(delay, func() { send(dpid, b) })
+	sw.proc.DeferBytes(c.proc, delay, deliverToConn, c.send, int(dpid), b)
 }
 
 // DeliverControl accepts an encoded controller-to-switch message on the
@@ -462,8 +508,14 @@ func (sw *Switch) sendToConnXID(connID int, m openflow.Message, xid uint32) {
 func (sw *Switch) DeliverControl(b []byte) { sw.DeliverControlFrom(0, b) }
 
 // DeliverControlFrom accepts an encoded controller-to-switch message on a
-// specific connection.
+// specific connection. It runs on the caller's (controller-side) context:
+// the message is deferred from the connection's Proc onto the switch's,
+// arriving after the control channel's one-way delay.
 func (sw *Switch) DeliverControlFrom(connID int, b []byte) {
+	src := sw.proc
+	if c := sw.conn(connID); c != nil && c.proc != nil {
+		src = c.proc
+	}
 	delay := sw.Profile.CtrlDelay
 	if sw.chFaults != nil {
 		v := sw.chFaults.Verdict()
@@ -472,26 +524,40 @@ func (sw *Switch) DeliverControlFrom(connID int, b []byte) {
 		}
 		delay += v.Delay
 		if v.Duplicate {
-			sw.eng.Schedule(delay, func() { sw.handleControl(connID, b) })
+			src.DeferBytes(sw.proc, delay, deliverControl, sw, connID, b)
 		}
 	}
-	sw.eng.Schedule(delay, func() { sw.handleControl(connID, b) })
+	src.DeferBytes(sw.proc, delay, deliverControl, sw, connID, b)
 }
 
-type barrierMarker struct {
-	conn int
-	xid  uint32
-}
-
-// ruleItem is a FlowMod queued at the OFA, tagged with its originating
-// connection so errors can be routed back to the sender. conn -1 marks a
-// local-agent install (no connection; applied, when set, runs after the
-// mod takes effect).
+// ruleItem is a FlowMod or barrier queued at the OFA, tagged with its
+// originating connection so errors and barrier replies can be routed back
+// to the sender. conn -1 marks a local-agent install (no connection;
+// applied, when set, runs after the mod takes effect). barrier marks a
+// BarrierRequest placeholder (fm nil), answered when it drains. The queue
+// used to be Server[any]; the typed item avoids boxing every FlowMod into
+// an interface on the install hot path.
 type ruleItem struct {
 	conn    int
 	xid     uint32
+	barrier bool
 	fm      *openflow.FlowMod
 	applied func()
+	notify  RuleNotify
+}
+
+// RuleNotify is the object form of InstallLocal's applied callback: the
+// local agent passes a value whose RuleApplied method fires once the mod
+// takes effect, costing no closure allocation on the devolved hot path.
+type RuleNotify interface{ RuleApplied() }
+
+// InstallLocalNotify is InstallLocal with an object callback.
+func (sw *Switch) InstallLocalNotify(fm *openflow.FlowMod, n RuleNotify) {
+	if sw.failed {
+		return
+	}
+	sw.ruleSrv.Submit(ruleItem{conn: -1, fm: fm, notify: n})
+	sw.updateRuleRate()
 }
 
 func (sw *Switch) handleControl(connID int, b []byte) {
@@ -552,7 +618,7 @@ func (sw *Switch) handleControl(connID int, b []byte) {
 	case *openflow.MultipartRequest:
 		sw.replyFlowStats(connID, m, xid)
 	case *openflow.BarrierRequest:
-		sw.ruleSrv.Submit(barrierMarker{conn: connID, xid: xid})
+		sw.ruleSrv.Submit(ruleItem{conn: connID, xid: xid, barrier: true})
 	}
 }
 
@@ -588,58 +654,67 @@ func (sw *Switch) handleRoleRequest(c *ctrlConn, m *openflow.RoleRequest, xid ui
 }
 
 // processRule is the OFA's rule-installation stage.
-func (sw *Switch) processRule(v any) {
+func (sw *Switch) processRule(it ruleItem) {
 	defer sw.updateRuleRate()
-	now := sw.eng.Now()
-	switch it := v.(type) {
-	case barrierMarker:
+	now := sw.proc.Now()
+	if it.barrier {
 		sw.sendToConnXID(it.conn, &openflow.BarrierReply{}, it.xid)
 		return
-	case ruleItem:
-		m := it.fm
-		sw.insertMeter.Add(now, 1)
-		tbl := sw.Pipeline.Table(m.TableID)
-		if tbl == nil {
+	}
+	m := it.fm
+	sw.insertMeter.Add(now, 1)
+	tbl := sw.Pipeline.Table(m.TableID)
+	if tbl == nil {
+		return
+	}
+	switch m.Command {
+	case openflow.FlowAdd, openflow.FlowModify:
+		if len(sw.ruleArena) == 0 {
+			sw.ruleArena = make([]flowtable.Rule, 128)
+		}
+		rule := &sw.ruleArena[0]
+		sw.ruleArena = sw.ruleArena[1:]
+		*rule = flowtable.Rule{
+			Priority:     m.Priority,
+			Match:        m.Match,
+			Instructions: m.Instructions,
+			IdleTimeout:  time.Duration(m.IdleTimeout) * time.Second,
+			HardTimeout:  time.Duration(m.HardTimeout) * time.Second,
+			Cookie:       m.Cookie,
+			Flags:        m.Flags,
+			Installed:    now,
+		}
+		if err := tbl.Insert(rule); err != nil {
+			sw.Stats.TableFull++
+			sw.sendToConnXID(it.conn, &openflow.Error{
+				ErrType: openflow.ErrTypeFlowModFailed,
+				Code:    openflow.ErrCodeTableFull,
+			}, it.xid)
 			return
 		}
-		switch m.Command {
-		case openflow.FlowAdd, openflow.FlowModify:
-			rule := &flowtable.Rule{
-				Priority:     m.Priority,
-				Match:        m.Match,
-				Instructions: m.Instructions,
-				IdleTimeout:  time.Duration(m.IdleTimeout) * time.Second,
-				HardTimeout:  time.Duration(m.HardTimeout) * time.Second,
-				Cookie:       m.Cookie,
-				Flags:        m.Flags,
-				Installed:    now,
+		sw.Stats.RulesInstalled++
+		if sw.trace != nil {
+			if key, ok := telemetry.FlowKeyFromMatch(&m.Match); ok {
+				sw.trace.Point(telemetry.PointRuleApplied, key, sw.DPID, now)
 			}
-			if err := tbl.Insert(rule); err != nil {
-				sw.Stats.TableFull++
-				sw.sendToConnXID(it.conn, &openflow.Error{
-					ErrType: openflow.ErrTypeFlowModFailed,
-					Code:    openflow.ErrCodeTableFull,
-				}, it.xid)
-				return
-			}
-			sw.Stats.RulesInstalled++
-			if sw.trace != nil {
-				if key, ok := telemetry.FlowKeyFromMatch(&m.Match); ok {
-					sw.trace.Point(telemetry.PointRuleApplied, key, sw.DPID, now)
-				}
-			}
-			if it.applied != nil {
-				it.applied()
-			}
-		case openflow.FlowDelete, openflow.FlowDeleteStrict:
-			removed := tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
-			sw.Stats.RulesDeleted += uint64(len(removed))
-			for _, r := range removed {
-				sw.notifyRemoved(r, openflow.RemovedDelete, now)
-			}
-			if it.applied != nil {
-				it.applied()
-			}
+		}
+		if it.applied != nil {
+			it.applied()
+		}
+		if it.notify != nil {
+			it.notify.RuleApplied()
+		}
+	case openflow.FlowDelete, openflow.FlowDeleteStrict:
+		removed := tbl.Delete(&m.Match, m.Priority, m.Command == openflow.FlowDeleteStrict)
+		sw.Stats.RulesDeleted += uint64(len(removed))
+		for _, r := range removed {
+			sw.notifyRemoved(r, openflow.RemovedDelete, now)
+		}
+		if it.applied != nil {
+			it.applied()
+		}
+		if it.notify != nil {
+			it.notify.RuleApplied()
 		}
 	}
 }
@@ -655,7 +730,7 @@ func (sw *Switch) updateRuleRate() {
 }
 
 func (sw *Switch) sweepExpired() {
-	now := sw.eng.Now()
+	now := sw.proc.Now()
 	for _, tbl := range sw.Pipeline.Tables {
 		rules, reasons := tbl.Expire(now)
 		for i, r := range rules {
@@ -684,7 +759,7 @@ func (sw *Switch) replyFlowStats(connID int, req *openflow.MultipartRequest, xid
 	if req.MPType != openflow.MultipartFlow || req.Flow == nil {
 		return
 	}
-	now := sw.eng.Now()
+	now := sw.proc.Now()
 	reply := &openflow.MultipartReply{MPType: openflow.MultipartFlow}
 	for _, tbl := range sw.Pipeline.Tables {
 		if req.Flow.TableID != 0xff && tbl.ID != req.Flow.TableID {

@@ -43,25 +43,29 @@ type TunnelConfig struct {
 }
 
 // Tunnel is a point-to-point overlay tunnel between two switch ports.
+// Like Link, all mutable state is split per direction (transmit-side
+// counters indexed by direction, receive-side counters likewise) so the
+// endpoints can live on different partition lanes: each counter slot has
+// exactly one writing lane.
 type Tunnel struct {
 	Cfg  TunnelConfig
-	eng  *sim.Engine
 	a, b *Port
 
 	busyUntil [2]sim.Time
 	down      bool
 	dead      bool
-	Drops     uint64
-	Encapped  uint64
-	Decapped  uint64
+	dropsTx   [2]uint64 // discarded at the sending endpoint
+	dropsRx   [2]uint64 // discarded at the receiving endpoint
+	encapped  [2]uint64
+	decapped  [2]uint64
 }
 
 // ConnectTunnel creates a tunnel between new logical ports on a and b.
-func ConnectTunnel(eng *sim.Engine, a Node, aPort uint32, b Node, bPort uint32, cfg TunnelConfig) *Tunnel {
+func ConnectTunnel(a Node, aPort uint32, b Node, bPort uint32, cfg TunnelConfig) *Tunnel {
 	if cfg.QueueBytes == 0 {
 		cfg.QueueBytes = defaultQueueBytes
 	}
-	t := &Tunnel{Cfg: cfg, eng: eng}
+	t := &Tunnel{Cfg: cfg}
 	pa := &Port{ID: aPort, Owner: a, Tunnel: t}
 	pb := &Port{ID: bPort, Owner: b, Tunnel: t}
 	pa.peer, pb.peer = pb, pa
@@ -93,6 +97,17 @@ func (t *Tunnel) Teardown() {
 // Down reports whether the tunnel is currently forced down.
 func (t *Tunnel) Down() bool { return t.down }
 
+// Drops returns the total packets discarded at either endpoint.
+func (t *Tunnel) Drops() uint64 {
+	return t.dropsTx[0] + t.dropsTx[1] + t.dropsRx[0] + t.dropsRx[1]
+}
+
+// Encapped returns the total packets encapsulated into the tunnel.
+func (t *Tunnel) Encapped() uint64 { return t.encapped[0] + t.encapped[1] }
+
+// Decapped returns the total packets decapsulated out of the tunnel.
+func (t *Tunnel) Decapped() uint64 { return t.decapped[0] + t.decapped[1] }
+
 func (t *Tunnel) dir(from *Port) int {
 	if from == t.a {
 		return 0
@@ -103,8 +118,9 @@ func (t *Tunnel) dir(from *Port) int {
 // transmit encapsulates and carries the packet to the far end, where it is
 // decapsulated before delivery.
 func (t *Tunnel) transmit(pkt *packet.Packet, from *Port, tunnelKey uint64) {
+	d := t.dir(from)
 	if t.down {
-		t.Drops++
+		t.dropsTx[d]++
 		return
 	}
 	switch t.Cfg.Type {
@@ -118,14 +134,14 @@ func (t *Tunnel) transmit(pkt *packet.Packet, from *Port, tunnelKey uint64) {
 			local, remote = remote, local
 		}
 		if err := pkt.EncapGRE(local, remote, uint32(tunnelKey)); err != nil {
-			t.Drops++
+			t.dropsTx[d]++
 			return
 		}
 	}
-	t.Encapped++
+	t.encapped[d]++
 
-	now := t.eng.Now()
-	d := t.dir(from)
+	src := from.Owner.Proc()
+	now := src.Now()
 	start := t.busyUntil[d]
 	if start < now {
 		start = now
@@ -135,20 +151,31 @@ func (t *Tunnel) transmit(pkt *packet.Packet, from *Port, tunnelKey uint64) {
 		txTime = time.Duration(float64(pkt.Size*8) / t.Cfg.RateBps * float64(time.Second))
 		backlog := (start - now).Seconds() * t.Cfg.RateBps / 8
 		if int(backlog) > t.Cfg.QueueBytes {
-			t.Drops++
+			t.dropsTx[d]++
 			return
 		}
 	}
 	t.busyUntil[d] = start + txTime
 	to := from.peer
-	t.eng.At(start+txTime+t.Cfg.Delay, func() {
-		t.deliver(pkt, to)
-	})
+	src.DeferCall(to.Owner.Proc(), start+txTime+t.Cfg.Delay-now, deliverTunnelPkt, to, pkt)
 }
 
-func (t *Tunnel) deliver(pkt *packet.Packet, to *Port) {
+// deliverTunnelPkt is the static delivery callback for every tunnel,
+// scheduled via DeferCall so per-packet transit allocates nothing. The
+// tunnel and receive direction are recovered from the destination port.
+func deliverTunnelPkt(a1, a2 any) {
+	to := a1.(*Port)
+	t := to.Tunnel
+	d := 0
+	if to == t.a {
+		d = 1
+	}
+	t.deliver(a2.(*packet.Packet), to, d)
+}
+
+func (t *Tunnel) deliver(pkt *packet.Packet, to *Port, d int) {
 	if t.dead {
-		t.Drops++
+		t.dropsRx[d]++
 		return
 	}
 	stripInner := t.Cfg.StripInnerB
@@ -158,7 +185,7 @@ func (t *Tunnel) deliver(pkt *packet.Packet, to *Port) {
 	switch t.Cfg.Type {
 	case TunnelMPLS:
 		if _, err := pkt.PopMPLS(); err != nil {
-			t.Drops++
+			t.dropsRx[d]++
 			return
 		}
 		pkt.Meta.TunnelID = t.Cfg.ID
@@ -169,7 +196,7 @@ func (t *Tunnel) deliver(pkt *packet.Packet, to *Port) {
 	case TunnelGRE:
 		key, err := pkt.DecapGRE()
 		if err != nil {
-			t.Drops++
+			t.dropsRx[d]++
 			return
 		}
 		pkt.Meta.TunnelID = t.Cfg.ID
@@ -177,6 +204,6 @@ func (t *Tunnel) deliver(pkt *packet.Packet, to *Port) {
 			pkt.Meta.InnerKey = key
 		}
 	}
-	t.Decapped++
+	t.decapped[d]++
 	to.Owner.Receive(pkt, to)
 }

@@ -29,6 +29,12 @@ type Metrics struct {
 	reg   *telemetry.Registry
 	hits  map[string]uint64
 	escal map[string]uint64
+	// hitCtr/escalCtr cache the registry counter resolved for each
+	// tenant/reason so the data-path hot loop does not rebuild the label
+	// string (and walk the registry) on every event. Entries are nil
+	// until a registry is bound; Bind clears them so they re-resolve.
+	hitCtr   map[string]*telemetry.Counter
+	escalCtr map[string]*telemetry.Counter
 }
 
 // NewMetrics returns an empty aggregate with latency-bucketed
@@ -39,6 +45,8 @@ func NewMetrics() *Metrics {
 		CentralSetup:  metrics.NewBucketHistogram(nil),
 		hits:          make(map[string]uint64),
 		escal:         make(map[string]uint64),
+		hitCtr:        make(map[string]*telemetry.Counter),
+		escalCtr:      make(map[string]*telemetry.Counter),
 	}
 }
 
@@ -51,6 +59,8 @@ func (m *Metrics) Bind(reg *telemetry.Registry) {
 	}
 	m.mu.Lock()
 	m.reg = reg
+	clear(m.hitCtr)
+	clear(m.escalCtr)
 	m.mu.Unlock()
 	reg.CounterFunc("scotch_devolve_setup_count", m.DevolvedSetup.Count)
 	reg.CounterFunc("scotch_central_setup_count", m.CentralSetup.Count)
@@ -67,9 +77,13 @@ func (m *Metrics) Hit(tenant string) {
 	}
 	m.mu.Lock()
 	m.hits[tenant]++
-	reg := m.reg
+	c, ok := m.hitCtr[tenant]
+	if !ok && m.reg != nil {
+		c = m.reg.Counter("scotch_devolve_hits_total" + telemetry.Labels("tenant", tenant))
+		m.hitCtr[tenant] = c
+	}
 	m.mu.Unlock()
-	reg.Counter("scotch_devolve_hits_total" + telemetry.Labels("tenant", tenant)).Inc()
+	c.Inc()
 }
 
 // Escalation counts one miss handed to the central controller, by
@@ -81,9 +95,13 @@ func (m *Metrics) Escalation(reason string) {
 	}
 	m.mu.Lock()
 	m.escal[reason]++
-	reg := m.reg
+	c, ok := m.escalCtr[reason]
+	if !ok && m.reg != nil {
+		c = m.reg.Counter("scotch_devolve_escalations_total" + telemetry.Labels("reason", reason))
+		m.escalCtr[reason] = c
+	}
 	m.mu.Unlock()
-	reg.Counter("scotch_devolve_escalations_total" + telemetry.Labels("reason", reason)).Inc()
+	c.Inc()
 }
 
 // ObserveDevolvedSetup records a local-rule setup latency.

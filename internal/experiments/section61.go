@@ -42,9 +42,7 @@ func driveInserts(eng *sim.Engine, sw *device.Switch, rate float64, dur time.Dur
 				IPv4Src: netaddr.IPv4(i),
 				IPv4Dst: netaddr.MakeIPv4(10, 0, 1, 1),
 			},
-			Instructions: []openflow.Instruction{
-				openflow.ApplyActions(openflow.OutputAction(3)),
-			},
+			Instructions: openflow.Apply1(openflow.OutputAction(3)),
 		}
 		b, err := openflow.Marshal(fm, uint32(i))
 		if err != nil {
@@ -98,9 +96,7 @@ func runFig10(w io.Writer) error {
 			pre := &openflow.FlowMod{
 				Command: openflow.FlowAdd, Priority: 900,
 				Match: openflow.Match{Fields: openflow.FieldIPv4Dst, IPv4Dst: dst.IP},
-				Instructions: []openflow.Instruction{
-					openflow.ApplyActions(openflow.OutputAction(dstPort)),
-				},
+				Instructions: openflow.Apply1(openflow.OutputAction(dstPort)),
 			}
 			b, err := openflow.Marshal(pre, 1)
 			if err != nil {

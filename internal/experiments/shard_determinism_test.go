@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// shardableIDs are the registered experiments whose rigs build on the
+// partitioned engine when sharding is armed (static topology, no
+// mid-run cross-partition sampling). Everything else falls back to the
+// serial engine, so running it here would test nothing.
+var shardableIDs = []string{
+	"fig11", "fig13",
+	"ablation-fanout", "ablation-elephant-threshold",
+	"ablation-scheduler", "ablation-withdrawal",
+}
+
+// shardWorkerCounts covers the degenerate single-lane case, the even
+// split, more workers than cores, and a prime count that leaves lanes
+// unevenly loaded.
+var shardWorkerCounts = []int{1, 2, 4, 7}
+
+// shardDeterminismIDs picks the experiments to pin. The default set is
+// the three cheapest shardable rigs (~80s for the full worker matrix);
+// SCOTCH_DETERMINISM_ALL=1 runs all six (~6 min). Under -short or the
+// race detector (10-20x slowdown on these sim-heavy runs) only the
+// cheapest experiment runs, at two worker counts.
+func shardDeterminismIDs(t *testing.T) ([]string, []int) {
+	t.Helper()
+	if os.Getenv("SCOTCH_DETERMINISM_ALL") != "" {
+		return shardableIDs, shardWorkerCounts
+	}
+	if testing.Short() || raceEnabled {
+		return []string{"ablation-withdrawal"}, []int{2, 7}
+	}
+	return []string{"fig13", "ablation-elephant-threshold", "ablation-withdrawal"}, shardWorkerCounts
+}
+
+// TestShardedByteIdentical pins the conservative-DES contract: a run on
+// the partitioned engine must be byte-identical to the serial run at
+// every worker count. Any divergence means lane-local state leaked
+// across a partition boundary (RNG draws off lane 0, a cross-lane Defer
+// below lookahead, or a driver touching foreign-lane state mid-window).
+func TestShardedByteIdentical(t *testing.T) {
+	defer SetShards(0)
+	ids, workerCounts := shardDeterminismIDs(t)
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %q not registered", id)
+			}
+			SetShards(0)
+			var serial bytes.Buffer
+			if err := e.Run(&serial); err != nil {
+				t.Fatal(err)
+			}
+			if serial.Len() == 0 {
+				t.Fatal("serial run produced no output")
+			}
+			for _, workers := range workerCounts {
+				SetShards(workers)
+				var got bytes.Buffer
+				err := e.Run(&got)
+				SetShards(0)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if !bytes.Equal(serial.Bytes(), got.Bytes()) {
+					t.Errorf("workers=%d diverged from serial run:\n--- serial ---\n%s\n--- sharded ---\n%s",
+						workers, serial.String(), got.String())
+				}
+			}
+		})
+	}
+}

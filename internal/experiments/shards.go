@@ -1,0 +1,57 @@
+package experiments
+
+import "sync"
+
+// shardState is the process-wide sharding knob, set from the -shards CLI
+// flag. Like the tracing and observatory toggles it applies to every
+// experiment run until changed; the zero value (0 workers) selects the
+// plain serial engine.
+var shardState struct {
+	sync.Mutex
+	workers int
+}
+
+// SetShards arms intra-run parallelism: experiments whose rig is marked
+// shardable build their world on a partitioned sim.Sharded engine with n
+// worker goroutines instead of a plain serial engine. n <= 0 disarms.
+//
+// Sharding never changes output. The rig places every RNG consumer and
+// every piece of state the experiment driver touches mid-run on lane 0
+// (which holds the raw seed), so a sharded run is byte-identical to the
+// serial run — the shard determinism suite pins this for the fast set at
+// several worker counts. Experiments that mutate the topology mid-run or
+// sample cross-partition state (elastic scaling, chaos, devolution,
+// armed observatory or tracer) fall back to the serial engine.
+func SetShards(n int) {
+	shardState.Lock()
+	defer shardState.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	shardState.workers = n
+}
+
+// Shards returns the currently armed worker count (0 = serial).
+func Shards() int {
+	shardState.Lock()
+	defer shardState.Unlock()
+	return shardState.workers
+}
+
+// observatoryArmed reports whether per-run observatories are enabled; an
+// observatory samples switch state across partitions mid-run, so armed
+// runs stay on the serial engine.
+func observatoryArmed() bool {
+	obsState.Lock()
+	defer obsState.Unlock()
+	return obsState.enabled
+}
+
+// tracingArmed reports whether per-run flow tracing is enabled; tracers
+// append to one shared trace from every device, so armed runs stay on
+// the serial engine.
+func tracingArmed() bool {
+	traceState.Lock()
+	defer traceState.Unlock()
+	return traceState.enabled
+}

@@ -466,6 +466,13 @@ func (gt *GroupTable) Len() int { return len(gt.groups) }
 type Pipeline struct {
 	Tables []*Table
 	Groups *GroupTable
+
+	// mergeScratch backs the merged action list of multi-table hits, so a
+	// two-table pipeline (the vSwitch shape) merges without allocating.
+	// The returned Result.Actions may alias it: callers must finish with
+	// one Process result before the next call (the simulated switch runs
+	// its pipeline on a single lane; concurrent users must copy).
+	mergeScratch []openflow.Action
 }
 
 // NewPipeline creates a pipeline with n tables of the given capacity each
@@ -534,12 +541,13 @@ func (pl *Pipeline) Process(p *packet.Packet, inPort uint32, now sim.Time) Resul
 					res.Actions = in.Actions
 					aliased = true
 				case aliased:
-					merged := make([]openflow.Action, 0, len(res.Actions)+len(in.Actions))
-					merged = append(merged, res.Actions...)
+					merged := append(pl.mergeScratch[:0], res.Actions...)
 					res.Actions = append(merged, in.Actions...)
+					pl.mergeScratch = res.Actions
 					aliased = false
 				default:
 					res.Actions = append(res.Actions, in.Actions...)
+					pl.mergeScratch = res.Actions
 				}
 			case openflow.InstrGotoTable:
 				next = int(in.TableID)

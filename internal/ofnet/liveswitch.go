@@ -119,7 +119,9 @@ func (ls *LiveSwitch) Inject(pkt *packet.Packet, inPort uint32) {
 	} else {
 		ls.Forwarded.Add(1)
 	}
-	actions := res.Actions
+	// Copy before unlocking: merged multi-table results alias the
+	// pipeline's scratch buffer, which the next Process call reuses.
+	actions := append([]openflow.Action(nil), res.Actions...)
 	fallback := ls.defaultActions
 	ls.mu.Unlock()
 

@@ -218,6 +218,48 @@ func ApplyActions(actions ...Action) Instruction {
 	return Instruction{Type: InstrApplyActions, Actions: actions}
 }
 
+// Apply1 returns a one-entry instruction list applying a single action,
+// with the list, instruction, and action in one allocation. This is the
+// dominant rule shape on the admission hot paths; the composite-literal
+// equivalent costs two allocations (the variadic slice plus the list).
+// FlowMod1 returns a FlowMod whose instruction block is a single
+// apply-actions of one action — the shape of nearly every rule the
+// controller installs. The message, its instruction list, and its action
+// list come from one combined allocation; the caller fills the remaining
+// FlowMod fields.
+func FlowMod1(a Action) *FlowMod {
+	bx := &struct {
+		fm   FlowMod
+		inst [1]Instruction
+		act  [1]Action
+	}{}
+	bx.act[0] = a
+	bx.inst[0] = Instruction{Type: InstrApplyActions, Actions: bx.act[:]}
+	bx.fm.Instructions = bx.inst[:]
+	return &bx.fm
+}
+
+// PacketOut1 returns an unbuffered (OFP_NO_BUFFER) PacketOut carrying one
+// action and the given frame, allocated together with its action list.
+func PacketOut1(inPort uint32, a Action, data []byte) *PacketOut {
+	bx := &struct {
+		po  PacketOut
+		act [1]Action
+	}{po: PacketOut{BufferID: 0xffffffff, InPort: inPort, Data: data}}
+	bx.act[0] = a
+	bx.po.Actions = bx.act[:]
+	return &bx.po
+}
+
+func Apply1(a Action) []Instruction {
+	bx := &struct {
+		inst [1]Instruction
+		act  [1]Action
+	}{act: [1]Action{a}}
+	bx.inst[0] = Instruction{Type: InstrApplyActions, Actions: bx.act[:]}
+	return bx.inst[:]
+}
+
 // GotoTable returns a goto-table instruction.
 func GotoTable(table uint8) Instruction {
 	return Instruction{Type: InstrGotoTable, TableID: table}
@@ -280,6 +322,26 @@ func marshalInstructions(b []byte, ins []Instruction) ([]byte, error) {
 }
 
 func unmarshalInstructions(b []byte) ([]Instruction, error) {
+	// Fast path: exactly one apply-actions instruction carrying exactly one
+	// action — the shape of every single-output rule, i.e. nearly all rules
+	// the controller installs. Decode it into one combined allocation
+	// (instruction slice + action slice) instead of two.
+	if len(b) >= 12 &&
+		binary.BigEndian.Uint16(b) == InstrApplyActions &&
+		int(binary.BigEndian.Uint16(b[2:])) == len(b) &&
+		int(binary.BigEndian.Uint16(b[10:])) == len(b)-8 {
+		bx := &struct {
+			inst [1]Instruction
+			act  [1]Action
+		}{}
+		rest, err := bx.act[0].unmarshal(b[8:])
+		if err == nil && len(rest) == 0 {
+			bx.inst[0] = Instruction{Type: InstrApplyActions, Actions: bx.act[:]}
+			return bx.inst[:], nil
+		}
+		// Malformed single action: fall through so the generic loop reports
+		// the same error the slow path always has.
+	}
 	var out []Instruction
 	for len(b) > 0 {
 		var in Instruction

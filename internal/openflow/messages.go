@@ -23,7 +23,9 @@ func (m *EchoRequest) marshalBody(b []byte) ([]byte, error) {
 	return append(b, m.Data...), nil
 }
 func (m *EchoRequest) unmarshalBody(b []byte) error {
-	m.Data = append([]byte(nil), b...)
+	if len(b) > 0 {
+		m.Data = b // alias: the wire buffer is dead once the message is handled
+	}
 	return nil
 }
 
@@ -36,7 +38,9 @@ func (m *EchoReply) marshalBody(b []byte) ([]byte, error) {
 	return append(b, m.Data...), nil
 }
 func (m *EchoReply) unmarshalBody(b []byte) error {
-	m.Data = append([]byte(nil), b...)
+	if len(b) > 0 {
+		m.Data = b // alias: the wire buffer is dead once the message is handled
+	}
 	return nil
 }
 
@@ -96,8 +100,14 @@ type PacketIn struct {
 	Data     []byte
 }
 
+// matchSizeUB over-estimates a marshaled ofp_match: the OXM TLVs this
+// simulator emits (port, tunnel id, ethertype, IPs, proto, L4 ports,
+// MPLS label) total well under this, padding included.
+const matchSizeUB = 96
+
 // Type implements Message.
 func (*PacketIn) Type() MsgType { return TypePacketIn }
+func (m *PacketIn) marshalSizeHint() int { return 18 + matchSizeUB + len(m.Data) }
 func (m *PacketIn) marshalBody(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, m.BufferID)
 	b = binary.BigEndian.AppendUint16(b, m.TotalLen)
@@ -123,7 +133,9 @@ func (m *PacketIn) unmarshalBody(b []byte) error {
 	if len(rest) < 2 {
 		return fmt.Errorf("openflow: packet-in pad truncated")
 	}
-	m.Data = append([]byte(nil), rest[2:]...)
+	// Alias rather than copy: the wire buffer's only consumer is this
+	// decode, so Data borrowing it is safe and saves a copy per punt.
+	m.Data = rest[2:]
 	return nil
 }
 
@@ -137,6 +149,7 @@ type PacketOut struct {
 
 // Type implements Message.
 func (*PacketOut) Type() MsgType { return TypePacketOut }
+func (m *PacketOut) marshalSizeHint() int { return 16 + 16*len(m.Actions) + len(m.Data) }
 func (m *PacketOut) marshalBody(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint32(b, m.BufferID)
 	b = binary.BigEndian.AppendUint32(b, m.InPort)
@@ -166,7 +179,7 @@ func (m *PacketOut) unmarshalBody(b []byte) error {
 		return err
 	}
 	m.Actions = actions
-	m.Data = append([]byte(nil), b[16+alen:]...)
+	m.Data = b[16+alen:] // alias: the wire buffer is dead after decode
 	return nil
 }
 
@@ -202,6 +215,7 @@ type FlowMod struct {
 
 // Type implements Message.
 func (*FlowMod) Type() MsgType { return TypeFlowMod }
+func (m *FlowMod) marshalSizeHint() int { return 40 + matchSizeUB + 32*len(m.Instructions) + 64 }
 func (m *FlowMod) marshalBody(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint64(b, m.Cookie)
 	b = binary.BigEndian.AppendUint64(b, m.CookieMask)
@@ -469,6 +483,7 @@ type MultipartReply struct {
 
 // Type implements Message.
 func (*MultipartReply) Type() MsgType { return TypeMultipartReply }
+func (m *MultipartReply) marshalSizeHint() int { return 8 + len(m.Flows)*(48+matchSizeUB) }
 func (m *MultipartReply) marshalBody(b []byte) ([]byte, error) {
 	b = binary.BigEndian.AppendUint16(b, m.MPType)
 	var flags uint16

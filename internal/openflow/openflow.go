@@ -87,10 +87,24 @@ type Message interface {
 	unmarshalBody(b []byte) error
 }
 
+// sizeHinter is implemented by message types whose encoded size varies
+// widely (payload-carrying or repeated-entry bodies). The hint is an
+// upper-bound estimate of the body length; Marshal sizes its buffer from
+// it so the binary.Append* calls in marshalBody never reallocate.
+type sizeHinter interface {
+	marshalSizeHint() int
+}
+
 // Marshal encodes a complete message (header + body) with the given
 // transaction id.
 func Marshal(m Message, xid uint32) ([]byte, error) {
-	b := make([]byte, headerLen, headerLen+64)
+	hint := 64
+	if s, ok := m.(sizeHinter); ok {
+		if n := s.marshalSizeHint(); n > hint {
+			hint = n
+		}
+	}
+	b := make([]byte, headerLen, headerLen+hint)
 	b[0] = Version
 	b[1] = byte(m.Type())
 	binary.BigEndian.PutUint32(b[4:], xid)

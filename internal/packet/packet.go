@@ -43,26 +43,51 @@ type Packet struct {
 	Meta Meta
 }
 
+// boxed bundles a Packet with inline storage for every optional header so
+// the constructors, Clone, and Parse cost one heap allocation instead of
+// one per present header. The Packet's pointer fields point into the same
+// box; a Packet built any other way still works, it just came from more
+// allocations.
+type boxed struct {
+	p     Packet
+	outer IPv4
+	gre   GRE
+	tcp   TCP
+	udp   UDP
+	// mpls backs the packet's label stack for up to two labels (the overlay
+	// never nests deeper: one transit label, one ingress-port label), so
+	// PushMPLS on a boxed packet appends in place instead of allocating.
+	mpls [2]MPLSLabel
+}
+
 // NewTCP builds an IPv4/TCP packet with sensible defaults.
 func NewTCP(src, dst netaddr.IPv4, srcPort, dstPort uint16, flags uint8) *Packet {
-	p := &Packet{
-		Eth: Ethernet{EtherType: EtherTypeIPv4},
-		IP:  IPv4{TTL: 64, Protocol: netaddr.ProtoTCP, Src: src, Dst: dst},
-		TCP: &TCP{SrcPort: srcPort, DstPort: dstPort, Flags: flags, Window: 65535},
+	bx := &boxed{
+		p: Packet{
+			Eth:  Ethernet{EtherType: EtherTypeIPv4},
+			IP:   IPv4{TTL: 64, Protocol: netaddr.ProtoTCP, Src: src, Dst: dst},
+			Size: ethernetLen + ipv4Len + tcpLen,
+		},
+		tcp: TCP{SrcPort: srcPort, DstPort: dstPort, Flags: flags, Window: 65535},
 	}
-	p.Size = ethernetLen + ipv4Len + tcpLen
-	return p
+	bx.p.TCP = &bx.tcp
+	bx.p.MPLS = bx.mpls[:0]
+	return &bx.p
 }
 
 // NewUDP builds an IPv4/UDP packet with sensible defaults.
 func NewUDP(src, dst netaddr.IPv4, srcPort, dstPort uint16, payloadLen int) *Packet {
-	p := &Packet{
-		Eth: Ethernet{EtherType: EtherTypeIPv4},
-		IP:  IPv4{TTL: 64, Protocol: netaddr.ProtoUDP, Src: src, Dst: dst},
-		UDP: &UDP{SrcPort: srcPort, DstPort: dstPort},
+	bx := &boxed{
+		p: Packet{
+			Eth:  Ethernet{EtherType: EtherTypeIPv4},
+			IP:   IPv4{TTL: 64, Protocol: netaddr.ProtoUDP, Src: src, Dst: dst},
+			Size: ethernetLen + ipv4Len + udpLen + payloadLen,
+		},
+		udp: UDP{SrcPort: srcPort, DstPort: dstPort},
 	}
-	p.Size = ethernetLen + ipv4Len + udpLen + payloadLen
-	return p
+	bx.p.UDP = &bx.udp
+	bx.p.MPLS = bx.mpls[:0]
+	return &bx.p
 }
 
 // FlowKey returns the 5-tuple of the *inner* packet (tunnel headers are
@@ -81,43 +106,45 @@ func (p *Packet) FlowKey() netaddr.FlowKey {
 // Clone returns a deep copy. Forwarding elements that duplicate a packet
 // (e.g. group buckets of type all) must clone before mutating.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	if p.MPLS != nil {
-		q.MPLS = append([]MPLSLabel(nil), p.MPLS...)
-	}
+	bx := &boxed{p: *p}
+	q := &bx.p
+	// Copy the label stack into the new box's inline storage (spilling to
+	// the heap only past two labels) so the clone neither aliases the
+	// original's stack nor costs an extra allocation.
+	q.MPLS = append(bx.mpls[:0], p.MPLS...)
 	if p.Outer != nil {
-		o := *p.Outer
-		q.Outer = &o
+		bx.outer = *p.Outer
+		q.Outer = &bx.outer
 	}
 	if p.GRE != nil {
-		g := *p.GRE
-		q.GRE = &g
+		bx.gre = *p.GRE
+		q.GRE = &bx.gre
 	}
 	if p.TCP != nil {
-		t := *p.TCP
-		q.TCP = &t
+		bx.tcp = *p.TCP
+		q.TCP = &bx.tcp
 	}
 	if p.UDP != nil {
-		u := *p.UDP
-		q.UDP = &u
+		bx.udp = *p.UDP
+		q.UDP = &bx.udp
 	}
 	if p.Payload != nil {
 		q.Payload = append([]byte(nil), p.Payload...)
 	}
-	return &q
+	return q
 }
 
 // PushMPLS pushes a label onto the stack (outermost position) and flips the
 // EtherType to MPLS, as the OpenFlow push_mpls+set_field action pair does.
 func (p *Packet) PushMPLS(label uint32) {
-	bottom := len(p.MPLS) == 0
-	p.MPLS = append([]MPLSLabel{{Label: label, Bottom: bottom, TTL: 64}}, p.MPLS...)
-	if !bottom {
-		// Only the innermost entry keeps the S bit.
-		for i := 1; i < len(p.MPLS); i++ {
-			p.MPLS[i].Bottom = i == len(p.MPLS)-1
-		}
-	}
+	// Shift in place rather than building a fresh slice: each packet owns
+	// its stack exclusively (Clone deep-copies), so a pop's spare capacity
+	// is safely reused by the next push along the path.
+	p.MPLS = append(p.MPLS, MPLSLabel{})
+	copy(p.MPLS[1:], p.MPLS)
+	// Only the innermost entry keeps the S bit; the old bottom entry is
+	// still last after the shift, so normalization is just the new head.
+	p.MPLS[0] = MPLSLabel{Label: label, Bottom: len(p.MPLS) == 1, TTL: 64}
 	p.Eth.EtherType = EtherTypeMPLS
 	p.Size += mplsLen
 }
@@ -129,9 +156,11 @@ func (p *Packet) PopMPLS() (uint32, error) {
 		return 0, fmt.Errorf("packet: pop on empty MPLS stack")
 	}
 	label := p.MPLS[0].Label
-	p.MPLS = p.MPLS[1:]
+	copy(p.MPLS, p.MPLS[1:])
+	// Keep the emptied slice (and its capacity) so a later push reuses it;
+	// all consumers test len, not nil-ness.
+	p.MPLS = p.MPLS[:len(p.MPLS)-1]
 	if len(p.MPLS) == 0 {
-		p.MPLS = nil
 		p.Eth.EtherType = EtherTypeIPv4
 	}
 	p.Size -= mplsLen
@@ -147,8 +176,14 @@ func (p *Packet) EncapGRE(src, dst netaddr.IPv4, key uint32) error {
 	if len(p.MPLS) > 0 {
 		return fmt.Errorf("packet: cannot GRE-encapsulate an MPLS packet")
 	}
-	p.Outer = &IPv4{TTL: 64, Protocol: netaddr.ProtoGRE, Src: src, Dst: dst}
-	p.GRE = &GRE{KeyPresent: true, Protocol: EtherTypeIPv4, Key: key}
+	og := &struct {
+		ip  IPv4
+		gre GRE
+	}{
+		ip:  IPv4{TTL: 64, Protocol: netaddr.ProtoGRE, Src: src, Dst: dst},
+		gre: GRE{KeyPresent: true, Protocol: EtherTypeIPv4, Key: key},
+	}
+	p.Outer, p.GRE = &og.ip, &og.gre
 	p.Size += ipv4Len + 8
 	return nil
 }
@@ -164,47 +199,59 @@ func (p *Packet) DecapGRE() (uint32, error) {
 	return key, nil
 }
 
-// Marshal encodes the packet to wire bytes.
+// Marshal encodes the packet to wire bytes. All header lengths are fixed,
+// so the layers serialize straight into one exactly-sized buffer — the
+// whole encode is a single allocation.
 func (p *Packet) Marshal() []byte {
-	b := make([]byte, 0, ethernetLen+len(p.MPLS)*mplsLen+2*ipv4Len+tcpLen+len(p.Payload)+16)
+	var l4Len int
+	switch {
+	case p.TCP != nil:
+		l4Len = tcpLen
+	case p.UDP != nil:
+		l4Len = udpLen
+	}
+	innerLen := ipv4Len + l4Len + len(p.Payload)
+	size := ethernetLen + len(p.MPLS)*mplsLen + innerLen
+	greLen := 0
+	if p.Outer != nil {
+		greLen = 4
+		if p.GRE.KeyPresent {
+			greLen += 4
+		}
+		size += ipv4Len + greLen
+	}
+	b := make([]byte, 0, size)
 	b = p.Eth.SerializeTo(b)
 	for i := range p.MPLS {
 		b = p.MPLS[i].SerializeTo(b)
 	}
-	inner := p.marshalInner()
 	if p.Outer != nil {
-		greLen := 4
-		if p.GRE.KeyPresent {
-			greLen += 4
-		}
-		b = p.Outer.SerializeTo(b, greLen+len(inner))
+		b = p.Outer.SerializeTo(b, greLen+innerLen)
 		b = p.GRE.SerializeTo(b)
 	}
-	return append(b, inner...)
-}
-
-func (p *Packet) marshalInner() []byte {
-	var l4 []byte
+	b = p.IP.SerializeTo(b, l4Len+len(p.Payload))
 	switch {
 	case p.TCP != nil:
-		l4 = p.TCP.SerializeTo(nil)
+		b = p.TCP.SerializeTo(b)
 	case p.UDP != nil:
-		l4 = p.UDP.SerializeTo(nil, len(p.Payload))
+		b = p.UDP.SerializeTo(b, len(p.Payload))
 	}
-	b := p.IP.SerializeTo(nil, len(l4)+len(p.Payload))
-	b = append(b, l4...)
 	return append(b, p.Payload...)
 }
 
 // Parse decodes wire bytes produced by Marshal. The returned packet has
 // zero Meta; Size is set to the wire length.
 func Parse(b []byte) (*Packet, error) {
-	p := &Packet{Size: len(b)}
+	bx := &boxed{p: Packet{Size: len(b)}}
+	p := &bx.p
 	rest, err := p.Eth.DecodeFromBytes(b)
 	if err != nil {
 		return nil, err
 	}
 	et := p.Eth.EtherType
+	if et == EtherTypeMPLS {
+		p.MPLS = bx.mpls[:0]
+	}
 	for et == EtherTypeMPLS {
 		var m MPLSLabel
 		if rest, err = m.DecodeFromBytes(rest); err != nil {
@@ -223,8 +270,9 @@ func Parse(b []byte) (*Packet, error) {
 		return nil, err
 	}
 	if ip.Protocol == netaddr.ProtoGRE {
-		p.Outer = &ip
-		p.GRE = &GRE{}
+		bx.outer = ip
+		p.Outer = &bx.outer
+		p.GRE = &bx.gre
 		if rest, err = p.GRE.DecodeFromBytes(rest); err != nil {
 			return nil, err
 		}
@@ -239,12 +287,12 @@ func Parse(b []byte) (*Packet, error) {
 	}
 	switch p.IP.Protocol {
 	case netaddr.ProtoTCP:
-		p.TCP = &TCP{}
+		p.TCP = &bx.tcp
 		if rest, err = p.TCP.DecodeFromBytes(rest); err != nil {
 			return nil, err
 		}
 	case netaddr.ProtoUDP:
-		p.UDP = &UDP{}
+		p.UDP = &bx.udp
 		if rest, err = p.UDP.DecodeFromBytes(rest); err != nil {
 			return nil, err
 		}

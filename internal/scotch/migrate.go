@@ -108,9 +108,7 @@ func (o *Overlay) buildChains() error {
 			suHandle.InstallFlow(&openflow.FlowMod{
 				Command: openflow.FlowAdd, TableID: 0, Priority: prioGreenChain,
 				Match: openflow.Match{Fields: openflow.FieldTunnelID, TunnelID: id},
-				Instructions: []openflow.Instruction{
-					openflow.ApplyActions(openflow.OutputAction(mb.SUOut)),
-				},
+				Instructions: openflow.Apply1(openflow.OutputAction(mb.SUOut)),
 			})
 		}
 		// Out-tunnel: S_D aggregates middlebox output back into the mesh
@@ -130,9 +128,7 @@ func (o *Overlay) buildChains() error {
 		sdHandle.InstallFlow(&openflow.FlowMod{
 			Command: openflow.FlowAdd, TableID: 0, Priority: prioGreenChain,
 			Match: openflow.Match{Fields: openflow.FieldInPort, InPort: mb.SDIn},
-			Instructions: []openflow.Instruction{
-				openflow.ApplyActions(openflow.OutputAction(sp)),
-			},
+			Instructions: openflow.Apply1(openflow.OutputAction(sp)),
 		})
 	}
 	return nil
@@ -323,16 +319,12 @@ func (a *App) redRuleFor(match openflow.Match, hop topo.Hop) *openflow.FlowMod {
 		match.InPort = hop.InPort
 		prio = prioRed + 1
 	}
-	return &openflow.FlowMod{
-		Command:     openflow.FlowAdd,
-		TableID:     0,
-		Priority:    prio,
-		IdleTimeout: uint16(a.Cfg.RuleIdleTimeout / time.Second),
-		Match:       match,
-		Instructions: []openflow.Instruction{
-			openflow.ApplyActions(openflow.OutputAction(hop.OutPort)),
-		},
-	}
+	fm := openflow.FlowMod1(openflow.OutputAction(hop.OutPort))
+	fm.Command = openflow.FlowAdd
+	fm.Priority = prio
+	fm.IdleTimeout = uint16(a.Cfg.RuleIdleTimeout / time.Second)
+	fm.Match = match
+	return fm
 }
 
 // keyFromMatch recovers a flow key from an exact-match rule (the inverse

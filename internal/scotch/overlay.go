@@ -72,6 +72,10 @@ type Overlay struct {
 	nextTunnelID uint64
 	nextPort     map[uint64]uint32 // per-node logical port allocator
 	hostPorts    map[netaddr.IPv4]uint32
+
+	// liveFanout scratch buffers; see its comment for the reuse contract.
+	fanoutScratch []physTunnel
+	spareScratch  []physTunnel
 }
 
 func newOverlay(app *App) *Overlay {
@@ -210,7 +214,7 @@ func (o *Overlay) buildMeshTunnel(va, vb uint64) error {
 	delay, _ := net.PathDelay(va, vb)
 	pa, pb := o.allocPort(va), o.allocPort(vb)
 	id := o.allocTunnelID()
-	t := device.ConnectTunnel(a.C.Eng, da, pa, db, pb, device.TunnelConfig{
+	t := device.ConnectTunnel(da, pa, db, pb, device.TunnelConfig{
 		Type:    a.Cfg.TunnelType,
 		ID:      id,
 		Delay:   delay + 20*time.Microsecond,
@@ -238,7 +242,7 @@ func (o *Overlay) buildFanoutTunnel(dpid, vs uint64) {
 	delay, _ := net.PathDelay(dpid, vs)
 	sp, vp := o.allocPort(dpid), o.allocPort(vs)
 	id := o.allocTunnelID()
-	t := device.ConnectTunnel(a.C.Eng, sw, sp, vdev, vp, device.TunnelConfig{
+	t := device.ConnectTunnel(sw, sp, vdev, vp, device.TunnelConfig{
 		Type:    a.Cfg.TunnelType,
 		ID:      id,
 		Delay:   delay + 20*time.Microsecond,
@@ -261,7 +265,7 @@ func connectTunnel(o *Overlay, a device.Node, ap uint32, b device.Node, bp uint3
 	if sw, ok := b.(*device.Switch); ok {
 		lb = sw.LocalIP
 	}
-	t := device.ConnectTunnel(o.app.C.Eng, a, ap, b, bp, device.TunnelConfig{
+	t := device.ConnectTunnel(a, ap, b, bp, device.TunnelConfig{
 		Type:    o.app.Cfg.TunnelType,
 		ID:      id,
 		Delay:   delay + 20*time.Microsecond,
@@ -283,7 +287,7 @@ func (o *Overlay) buildDelivery(ip netaddr.IPv4, vs uint64) error {
 	delay, _ := net.PathDelay(vs, at.DPID)
 	vp := o.allocPort(vs)
 	hp := o.allocPort(0) // host-side logical port id space is per-host anyway
-	t := device.ConnectTunnel(a.C.Eng, vdev, vp, host, hp, device.TunnelConfig{
+	t := device.ConnectTunnel(vdev, vp, host, hp, device.TunnelConfig{
 		Type:    a.Cfg.TunnelType,
 		ID:      o.allocTunnelID(),
 		Delay:   delay + 20*time.Microsecond,
@@ -386,7 +390,11 @@ func (o *Overlay) usable(vs uint64) bool {
 // primary has failed. This is the bucket list of the switch's select
 // group, so selectVSwitch and installGroup stay consistent by sharing it.
 func (o *Overlay) liveFanout(dpid uint64) []physTunnel {
-	var primaries, spares []physTunnel
+	// Reuses the overlay's scratch buffers: both callers consume the
+	// result before the next liveFanout call and never retain it, and
+	// the overlay runs single-threaded on the controller's lane.
+	primaries := o.fanoutScratch[:0]
+	spares := o.spareScratch[:0]
 	nPrimary := 0
 	for _, pt := range o.phys[dpid] {
 		if o.backups[pt.vs] {
@@ -400,10 +408,10 @@ func (o *Overlay) liveFanout(dpid uint64) []physTunnel {
 			primaries = append(primaries, pt)
 		}
 	}
-	for len(primaries) < nPrimary && len(spares) > 0 {
-		primaries = append(primaries, spares[0])
-		spares = spares[1:]
+	for si := 0; len(primaries) < nPrimary && si < len(spares); si++ {
+		primaries = append(primaries, spares[si])
 	}
+	o.fanoutScratch, o.spareScratch = primaries, spares
 	return primaries
 }
 
@@ -471,9 +479,7 @@ func (o *Overlay) activate(dpid uint64) {
 		}
 		h.InstallFlow(&openflow.FlowMod{
 			Command: openflow.FlowAdd, TableID: 1, Priority: prioOffloadDefault,
-			Instructions: []openflow.Instruction{
-				openflow.ApplyActions(openflow.GroupAction(offloadGroupID)),
-			},
+			Instructions: openflow.Apply1(openflow.GroupAction(offloadGroupID)),
 		})
 	})
 	for _, port := range st.ingressPorts {
@@ -683,9 +689,7 @@ func (o *Overlay) buildChainEntry(vs uint64) {
 		suHandle.InstallFlow(&openflow.FlowMod{
 			Command: openflow.FlowAdd, TableID: 0, Priority: prioGreenChain,
 			Match: openflow.Match{Fields: openflow.FieldTunnelID, TunnelID: id},
-			Instructions: []openflow.Instruction{
-				openflow.ApplyActions(openflow.OutputAction(mb.SUOut)),
-			},
+			Instructions: openflow.Apply1(openflow.OutputAction(mb.SUOut)),
 		})
 	}
 }

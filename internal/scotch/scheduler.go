@@ -34,14 +34,19 @@ type fifoItem struct {
 // "Such a priority order causes small flows to be forwarded on physical
 // paths only after all large flows are accommodated."
 type installScheduler struct {
-	eng  *sim.Engine
+	eng  sim.Proc
 	rate float64
 	busy bool
 
 	admitted  []job
 	migration []job
 
+	// ingress holds one queue per ingress port with pending requests; a
+	// drained port leaves the map, and its emptied slice parks on qPool so
+	// the next burst (from any port) starts with capacity instead of a
+	// fresh allocation.
 	ingress map[uint32][]*flowReq
+	qPool   [][]*flowReq
 	rrPorts []uint32
 	rrIdx   int
 
@@ -55,19 +60,29 @@ type installScheduler struct {
 	// serveIngress processes a popped new-flow request; wired to the
 	// app's physical-admission path.
 	serveIngress func(*flowReq)
+
+	// serveFn is the one closure the pacing loop ever schedules,
+	// allocated once here rather than once per served item in kick.
+	serveFn func()
 }
 
-func newScheduler(eng *sim.Engine, rate float64, serveIngress func(*flowReq)) *installScheduler {
+func newScheduler(eng sim.Proc, rate float64, serveIngress func(*flowReq)) *installScheduler {
 	if rate <= 0 {
 		panic("scotch: non-positive install rate")
 	}
-	return &installScheduler{
+	s := &installScheduler{
 		eng:          eng,
 		rate:         rate,
 		ingress:      make(map[uint32][]*flowReq),
 		ingressCount: make(map[uint32]int),
 		serveIngress: serveIngress,
 	}
+	s.serveFn = func() {
+		s.serveOne()
+		s.busy = false
+		s.kick()
+	}
+	return s
 }
 
 // SubmitAdmitted queues highest-priority work (admitted-flow rules).
@@ -98,10 +113,15 @@ func (s *installScheduler) SubmitIngress(port uint32, r *flowReq) {
 		s.kick()
 		return
 	}
-	if _, ok := s.ingress[port]; !ok {
+	q, ok := s.ingress[port]
+	if !ok {
 		s.rrPorts = append(s.rrPorts, port)
+		if n := len(s.qPool); n > 0 {
+			q = s.qPool[n-1]
+			s.qPool = s.qPool[:n-1]
+		}
 	}
-	s.ingress[port] = append(s.ingress[port], r)
+	s.ingress[port] = append(q, r)
 	s.kick()
 }
 
@@ -124,16 +144,22 @@ func (s *installScheduler) TotalBacklog() int {
 	return n
 }
 
+// retire removes a drained port's queue from the ingress map and parks
+// the emptied slice for reuse. The pool is capped: ports drain one at a
+// time, so a handful of spare queues covers any realistic churn.
+func (s *installScheduler) retire(port uint32, q []*flowReq) {
+	delete(s.ingress, port)
+	if cap(q) > 0 && len(s.qPool) < 64 {
+		s.qPool = append(s.qPool, q[:0])
+	}
+}
+
 func (s *installScheduler) kick() {
 	if s.busy || s.TotalBacklog() == 0 {
 		return
 	}
 	s.busy = true
-	s.eng.Schedule(time.Duration(float64(time.Second)/s.rate), func() {
-		s.serveOne()
-		s.busy = false
-		s.kick()
-	})
+	s.eng.Schedule(time.Duration(float64(time.Second)/s.rate), s.serveFn)
 }
 
 // serveOne pops one unit of work in priority order (or arrival order in
@@ -176,6 +202,8 @@ func (s *installScheduler) serveOne() {
 	// ingress map) rather than skipped, so rrPorts stays bounded by the
 	// set of ports with backlog and never scans stale entries; a port
 	// that refills re-enters the ring at the tail via SubmitIngress.
+	// Queues pop by copy-down (not reslicing) so their full capacity
+	// survives to be recycled through qPool when the port drains.
 	for len(s.rrPorts) > 0 {
 		if s.rrIdx >= len(s.rrPorts) {
 			s.rrIdx = 0
@@ -186,15 +214,18 @@ func (s *installScheduler) serveOne() {
 			// Dead slot: remove it in place; the next port slides into
 			// this index, so rrIdx is not advanced.
 			s.rrPorts = append(s.rrPorts[:s.rrIdx], s.rrPorts[s.rrIdx+1:]...)
-			delete(s.ingress, port)
+			s.retire(port, q)
 			continue
 		}
 		r := q[0]
-		if len(q) == 1 {
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		q = q[:len(q)-1]
+		if len(q) == 0 {
 			s.rrPorts = append(s.rrPorts[:s.rrIdx], s.rrPorts[s.rrIdx+1:]...)
-			delete(s.ingress, port)
+			s.retire(port, q)
 		} else {
-			s.ingress[port] = q[1:]
+			s.ingress[port] = q
 			s.rrIdx++
 		}
 		s.serveIngress(r)

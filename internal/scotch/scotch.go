@@ -142,6 +142,25 @@ type protState struct {
 	reqRate *metrics.RateMeter
 }
 
+// newReq takes a zeroed flowReq from the pool (or allocates one). Every
+// request is served exactly once, and no admit path retains its request
+// past the serve call, so served and dropped requests go straight back
+// via freeReq.
+func (a *App) newReq() *flowReq {
+	if n := len(a.reqPool); n > 0 {
+		r := a.reqPool[n-1]
+		a.reqPool = a.reqPool[:n-1]
+		return r
+	}
+	return &flowReq{}
+}
+
+// freeReq returns a finished request to the pool.
+func (a *App) freeReq(r *flowReq) {
+	*r = flowReq{}
+	a.reqPool = append(a.reqPool, r)
+}
+
 // flowReq is one pending new-flow request in the ingress queues.
 type flowReq struct {
 	key    netaddr.FlowKey
@@ -163,6 +182,8 @@ type App struct {
 	ovlSched  map[uint64]*installScheduler
 	mboxes    map[string]*MiddleboxChain
 	migrating map[netaddr.FlowKey]bool
+	reqPool   []*flowReq // recycled flowReq boxes (see newReq)
+	monDpids  []uint64   // monitor's sorted-visit scratch, reused every tick
 
 	// owns, when set, restricts which punting switches this app instance
 	// handles (cluster sharding); nil handles everything.
@@ -402,7 +423,10 @@ func (a *App) InstallBacklog() int {
 func (a *App) sched(dpid uint64) *installScheduler {
 	s, ok := a.physSched[dpid]
 	if !ok {
-		s = newScheduler(a.C.Eng, a.Cfg.InstallRate, func(r *flowReq) { a.admitPhysical(r) })
+		s = newScheduler(a.C.Eng, a.Cfg.InstallRate, func(r *flowReq) {
+			a.admitPhysical(r)
+			a.freeReq(r)
+		})
 		s.fifoMode = a.Cfg.FIFOScheduler
 		a.physSched[dpid] = s
 	}
@@ -412,7 +436,10 @@ func (a *App) sched(dpid uint64) *installScheduler {
 func (a *App) ovlSchedFor(dpid uint64) *installScheduler {
 	s, ok := a.ovlSched[dpid]
 	if !ok {
-		s = newScheduler(a.C.Eng, a.Cfg.OverlayInstallRate, func(r *flowReq) { a.admitOverlay(r) })
+		s = newScheduler(a.C.Eng, a.Cfg.OverlayInstallRate, func(r *flowReq) {
+			a.admitOverlay(r)
+			a.freeReq(r)
+		})
 		a.ovlSched[dpid] = s
 	}
 	return s
@@ -425,10 +452,11 @@ func (a *App) monitor() {
 	now := a.C.Eng.Now()
 	// Sorted: activations/withdrawals install rules through the shared
 	// scheduler, so the visit order must be reproducible.
-	dpids := make([]uint64, 0, len(a.protected))
+	dpids := a.monDpids[:0]
 	for dpid := range a.protected {
 		dpids = append(dpids, dpid)
 	}
+	a.monDpids = dpids
 	sort.Slice(dpids, func(i, j int) bool { return dpids[i] < dpids[j] })
 	for _, dpid := range dpids {
 		st := a.protected[dpid]
@@ -506,7 +534,8 @@ func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn
 	}
 
 	a.Stats.Requests++
-	req := &flowReq{key: key, origin: origin, port: port, punter: punter,
+	req := a.newReq()
+	*req = flowReq{key: key, origin: origin, port: port, punter: punter,
 		data: pin.Data, at: a.C.Eng.Now()}
 
 	group := port
@@ -524,6 +553,7 @@ func (a *App) HandlePacketIn(sw *controller.SwitchHandle, pin *openflow.PacketIn
 		if tr != nil {
 			tr.PointTag(telemetry.PointClassified, key, origin, a.C.Eng.Now(), "drop")
 		}
+		a.freeReq(req)
 	case backlog >= a.Cfg.OverlayThreshold && a.canOverlay(req):
 		if tr != nil {
 			tr.PointTag(telemetry.PointClassified, key, origin, a.C.Eng.Now(), "overlay")
@@ -619,7 +649,7 @@ func (a *App) admitPhysical(r *flowReq) {
 			}
 		})
 	}
-	a.C.FlowDB.Put(&controller.FlowInfo{
+	a.C.FlowDB.Store(controller.FlowInfo{
 		Key:         r.key,
 		FirstHop:    r.origin,
 		IngressPort: r.port,
@@ -629,12 +659,8 @@ func (a *App) admitPhysical(r *flowReq) {
 	// Forward the triggering packet from the origin switch along the new
 	// path (the controller holds the full packet).
 	if h := a.C.Switch(r.origin); h != nil && len(r.data) > 0 {
-		h.SendPacketOut(&openflow.PacketOut{
-			BufferID: 0xffffffff,
-			InPort:   openflow.PortController,
-			Actions:  []openflow.Action{openflow.OutputAction(first.OutPort)},
-			Data:     r.data,
-		})
+		h.SendPacketOut(openflow.PacketOut1(openflow.PortController,
+			openflow.OutputAction(first.OutPort), r.data))
 	}
 }
 
@@ -694,15 +720,11 @@ func (a *App) admitOverlay(r *flowReq) {
 		}
 		h.InstallFlow(a.vsRuleTun(match, hops[i].out, hops[i].tunnelID))
 		if i == 0 && len(r.data) > 0 {
-			h.SendPacketOut(&openflow.PacketOut{
-				BufferID: 0xffffffff,
-				InPort:   openflow.PortController,
-				Actions:  []openflow.Action{openflow.OutputAction(hops[i].out)},
-				Data:     r.data,
-			})
+			h.SendPacketOut(openflow.PacketOut1(openflow.PortController,
+				openflow.OutputAction(hops[i].out), r.data))
 		}
 	}
-	a.C.FlowDB.Put(&controller.FlowInfo{
+	a.C.FlowDB.Store(controller.FlowInfo{
 		Key:            r.key,
 		FirstHop:       r.origin,
 		IngressPort:    r.port,
@@ -736,12 +758,7 @@ func (a *App) reforward(punter *controller.SwitchHandle, fi *controller.FlowInfo
 		}
 		action = openflow.OutputAction(hops[0].OutPort)
 	}
-	punter.SendPacketOut(&openflow.PacketOut{
-		BufferID: 0xffffffff,
-		InPort:   openflow.PortController,
-		Actions:  []openflow.Action{action},
-		Data:     pin.Data,
-	})
+	punter.SendPacketOut(openflow.PacketOut1(openflow.PortController, action, pin.Data))
 }
 
 // repairOverlay handles a miss at a mesh vSwitch that is not a fan-out
@@ -766,12 +783,8 @@ func (a *App) repairOverlay(sw *controller.SwitchHandle, pin *openflow.PacketIn,
 	}
 	sw.InstallFlow(a.vsRule(exactMatch(key), out))
 	if len(pin.Data) > 0 {
-		sw.SendPacketOut(&openflow.PacketOut{
-			BufferID: 0xffffffff,
-			InPort:   openflow.PortController,
-			Actions:  []openflow.Action{openflow.OutputAction(out)},
-			Data:     pin.Data,
-		})
+		sw.SendPacketOut(openflow.PacketOut1(openflow.PortController,
+			openflow.OutputAction(out), pin.Data))
 	}
 	if fi != nil && fi.OnOverlay {
 		fi.OverlayVSwitch = sw.DPID
@@ -840,17 +853,13 @@ func (a *App) vsRuleTun(match openflow.Match, outPort uint32, tunnelID uint64) *
 		match.TunnelID = tunnelID
 		prio = prioVSwitch + 1
 	}
-	return &openflow.FlowMod{
-		Command:     openflow.FlowAdd,
-		TableID:     0,
-		Priority:    prio,
-		IdleTimeout: uint16(a.Cfg.RuleIdleTimeout / time.Second),
-		Flags:       openflow.FlagSendFlowRem,
-		Match:       match,
-		Instructions: []openflow.Instruction{
-			openflow.ApplyActions(openflow.OutputAction(outPort)),
-		},
-	}
+	fm := openflow.FlowMod1(openflow.OutputAction(outPort))
+	fm.Command = openflow.FlowAdd
+	fm.Priority = prio
+	fm.IdleTimeout = uint16(a.Cfg.RuleIdleTimeout / time.Second)
+	fm.Flags = openflow.FlagSendFlowRem
+	fm.Match = match
+	return fm
 }
 
 // HandleFlowRemoved implements controller.FlowRemovedHandler: when a

@@ -160,7 +160,7 @@ func TestOverlayDeliversViaTunnels(t *testing.T) {
 	for _, vs := range f.vs {
 		for pid := uint32(1000); pid < 1100; pid++ {
 			if p := vs.Port(pid); p != nil && p.Tunnel != nil {
-				decapped += p.Tunnel.Decapped
+				decapped += p.Tunnel.Decapped()
 			}
 		}
 	}

@@ -18,9 +18,23 @@ type Time = time.Duration
 // time the node is reused, which lets stale Event handles detect that
 // "their" event is gone.
 type eventNode struct {
-	at       Time
-	seq      uint64
-	fn       func()
+	at  Time
+	seq uint64
+	fn  func()
+	// fn2/a1/a2 are the argument-carrying form used by DeferCall: a
+	// static function plus two operands, so packet-delivery events on the
+	// hottest paths cost no closure allocation. Exactly one of fn and fn2
+	// is set.
+	fn2    func(a1, a2 any)
+	a1, a2 any
+	// fnB/id/b are the wire-delivery form used by DeferBytes: the byte
+	// buffer and small integer ride in the node directly (a1 carries the
+	// receiver), so control-channel deliveries cost no closure and no
+	// interface-boxing of the slice header. At most one of fn, fn2, fnB
+	// is set.
+	fnB      func(obj any, id int, b []byte)
+	id       int
+	b        []byte
 	index    int // heap index, -1 when not queued
 	canceled bool
 }
@@ -48,8 +62,12 @@ func (ev Event) Cancel() {
 	}
 }
 
-// Canceled reports whether Cancel was called on the event before its node
-// was recycled. A handle whose event fired normally reports false.
+// Canceled reports whether Cancel was called on the event and its node has
+// not yet been recycled. A handle whose event fired normally reports
+// false; once a canceled event's scheduled time passes and the engine
+// reclaims its node (bumping the node's generation), the stale handle also
+// reports false — the generation check keeps it from ever observing the
+// node's next occupant.
 func (ev Event) Canceled() bool {
 	return ev.n != nil && ev.n.seq == ev.seq && ev.n.canceled
 }
@@ -136,6 +154,55 @@ func (e *Engine) At(t Time, fn func()) Event {
 		panic("sim: nil event callback")
 	}
 	e.seq++
+	ev := e.takeNode()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	heap.Push(&e.events, ev)
+	return Event{n: ev, seq: e.seq, at: t}
+}
+
+// at2 is At for the argument-carrying event form; it supports no cancel
+// handle, which delivery events never need.
+func (e *Engine) at2(t Time, fn func(a1, a2 any), a1, a2 any) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := e.takeNode()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn2 = fn
+	ev.a1, ev.a2 = a1, a2
+	heap.Push(&e.events, ev)
+}
+
+// atB is At for the wire-delivery event form (DeferBytes); like at2 it
+// supports no cancel handle.
+func (e *Engine) atB(t Time, fn func(obj any, id int, b []byte), obj any, id int, b []byte) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v, before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event callback")
+	}
+	e.seq++
+	ev := e.takeNode()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fnB = fn
+	ev.a1 = obj
+	ev.id = id
+	ev.b = b
+	heap.Push(&e.events, ev)
+}
+
+// takeNode pops a recycled node or allocates a fresh one; the caller sets
+// at/seq and exactly one of fn, fn2, fnB.
+func (e *Engine) takeNode() *eventNode {
 	var ev *eventNode
 	if n := len(e.free); n > 0 {
 		ev = e.free[n-1]
@@ -144,23 +211,40 @@ func (e *Engine) At(t Time, fn func()) Event {
 	} else {
 		ev = &eventNode{}
 	}
-	ev.at = t
-	ev.seq = e.seq
-	ev.fn = fn
 	ev.index = -1
 	ev.canceled = false
-	heap.Push(&e.events, ev)
-	return Event{n: ev, seq: e.seq, at: t}
+	return ev
 }
 
-// release returns a fired node to the free list. Canceled nodes are NOT
-// recycled: their handles must keep reporting Canceled()==true, and a
-// recycled node would let a stale Cancel resurrect onto a new event.
+// release returns a fired node to the free list. Canceled nodes take the
+// reclaim path instead: their generation must be bumped first so stale
+// handles cannot cancel the node's next occupant.
 func (e *Engine) release(ev *eventNode) {
 	if ev.canceled {
 		return
 	}
 	ev.fn = nil
+	ev.fn2 = nil
+	ev.a1, ev.a2 = nil, nil
+	ev.fnB = nil
+	ev.b = nil
+	e.free = append(e.free, ev)
+}
+
+// reclaim recycles a canceled node as its (never-run) event is popped.
+// Bumping the generation invalidates every outstanding handle: a stale
+// Cancel becomes a no-op and a stale Canceled reads false, so the node is
+// safe to hand to the next At call. Without this, cancel-heavy patterns
+// (elephant sweep timers, Ticker.Stop) would allocate a fresh node per
+// reschedule because canceled nodes never re-entered the free list.
+func (e *Engine) reclaim(ev *eventNode) {
+	ev.seq++ // handles hold the pre-bump value; never handed out again
+	ev.canceled = false
+	ev.fn = nil
+	ev.fn2 = nil
+	ev.a1, ev.a2 = nil, nil
+	ev.fnB = nil
+	ev.b = nil
 	e.free = append(e.free, ev)
 }
 
@@ -186,12 +270,21 @@ func (e *Engine) RunUntil(end Time) uint64 {
 		heap.Pop(&e.events)
 		e.now = next.at
 		if next.canceled {
+			e.reclaim(next)
 			continue
 		}
-		fn := next.fn
+		fn, fn2, a1, a2 := next.fn, next.fn2, next.a1, next.a2
+		fnB, id, b := next.fnB, next.id, next.b
 		e.fired++
 		e.release(next)
-		fn()
+		switch {
+		case fn != nil:
+			fn()
+		case fn2 != nil:
+			fn2(a1, a2)
+		default:
+			fnB(a1, id, b)
+		}
 	}
 	if !e.stopped && e.now < end && end < 1<<62-1 {
 		e.now = end

@@ -43,12 +43,17 @@ func TestCancel(t *testing.T) {
 	ran := false
 	ev := e.Schedule(time.Millisecond, func() { ran = true })
 	ev.Cancel()
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false after Cancel")
+	}
 	e.Run()
 	if ran {
 		t.Fatal("canceled event ran")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() = false after Cancel")
+	// Once the canceled event's time passes, the engine reclaims the node
+	// and the stale handle reads false.
+	if ev.Canceled() {
+		t.Fatal("Canceled() = true after the node was reclaimed")
 	}
 }
 

@@ -24,7 +24,14 @@ type edge struct {
 
 // Network is a simulated topology plus the indexes the controller needs.
 type Network struct {
-	Eng *sim.Engine
+	// Eng is the network's default scheduling context: the engine (or
+	// lane) new nodes are placed on when no UseProc override is active.
+	Eng sim.Proc
+
+	// proc, when non-nil, overrides Eng for nodes created until the next
+	// UseProc call: sharded rigs point it at successive partition lanes
+	// while building each partition's devices.
+	proc sim.Proc
 
 	switches map[uint64]*device.Switch
 	byName   map[string]*device.Switch
@@ -40,10 +47,17 @@ type Network struct {
 	nextDPID uint64
 	nextPort map[uint64]uint32
 	nextMAC  uint32
+
+	// hop1 caches Path's single-hop result (switch already attached to
+	// the destination) per destination IP — the common case on delivery
+	// vSwitches, hit once per admitted flow. Entries are exact-capacity
+	// so a caller's append copies instead of aliasing; AttachHost
+	// invalidates the cache.
+	hop1 map[netaddr.IPv4][]Hop
 }
 
-// New returns an empty network on the given engine.
-func New(eng *sim.Engine) *Network {
+// New returns an empty network on the given engine (or lane).
+func New(eng sim.Proc) *Network {
 	return &Network{
 		Eng:       eng,
 		switches:  make(map[uint64]*device.Switch),
@@ -57,13 +71,27 @@ func New(eng *sim.Engine) *Network {
 	}
 }
 
+// UseProc directs subsequent AddSwitch/AddHost calls to place new nodes
+// on the given scheduling context; nil restores the network's default.
+// Partitioned (sharded-engine) topologies are built by switching the
+// active proc between partitions' lanes during construction.
+func (n *Network) UseProc(p sim.Proc) { n.proc = p }
+
+// cur returns the proc new nodes are currently placed on.
+func (n *Network) cur() sim.Proc {
+	if n.proc != nil {
+		return n.proc
+	}
+	return n.Eng
+}
+
 // AddSwitch creates a switch with an automatically assigned datapath id.
 func (n *Network) AddSwitch(name string, prof device.Profile) *device.Switch {
 	if _, ok := n.byName[name]; ok {
 		panic(fmt.Sprintf("topo: duplicate switch %q", name))
 	}
 	n.nextDPID++
-	sw := device.NewSwitch(n.Eng, name, n.nextDPID, prof)
+	sw := device.NewSwitch(n.cur(), name, n.nextDPID, prof)
 	sw.LocalIP = netaddr.MakeIPv4(192, 168, byte(n.nextDPID>>8), byte(n.nextDPID))
 	n.switches[sw.DPID] = sw
 	n.byName[name] = sw
@@ -74,7 +102,7 @@ func (n *Network) AddSwitch(name string, prof device.Profile) *device.Switch {
 // AddHost creates a host with an automatically assigned MAC address.
 func (n *Network) AddHost(name string, ip netaddr.IPv4) *device.Host {
 	n.nextMAC++
-	h := device.NewHost(n.Eng, name, ip, netaddr.MakeMAC(n.nextMAC))
+	h := device.NewHost(n.cur(), name, ip, netaddr.MakeMAC(n.nextMAC))
 	n.hosts[ip] = h
 	return h
 }
@@ -112,8 +140,8 @@ func (n *Network) allocPort(sw *device.Switch) uint32 {
 // Returns a's port toward via and b's port toward via.
 func (n *Network) LinkSwitchesVia(a *device.Switch, via device.Node, b *device.Switch, cfg device.LinkConfig) (uint32, uint32) {
 	pa, pb := n.allocPort(a), n.allocPort(b)
-	device.Connect(n.Eng, a, pa, via, 1, cfg)
-	device.Connect(n.Eng, via, 2, b, pb, cfg)
+	device.Connect(a, pa, via, 1, cfg)
+	device.Connect(via, 2, b, pb, cfg)
 	cost := 2 * linkCost(cfg)
 	n.adj[a.DPID] = append(n.adj[a.DPID], edge{to: b.DPID, outPort: pa, cost: cost})
 	n.adj[b.DPID] = append(n.adj[b.DPID], edge{to: a.DPID, outPort: pb, cost: cost})
@@ -124,7 +152,7 @@ func (n *Network) LinkSwitchesVia(a *device.Switch, via device.Node, b *device.S
 // records the adjacency for path computation. It returns the two port ids.
 func (n *Network) LinkSwitches(a, b *device.Switch, cfg device.LinkConfig) (uint32, uint32) {
 	pa, pb := n.allocPort(a), n.allocPort(b)
-	l := device.Connect(n.Eng, a, pa, b, pb, cfg)
+	l := device.Connect(a, pa, b, pb, cfg)
 	n.swLinks[[2]uint64{a.DPID, b.DPID}] = l
 	n.swLinks[[2]uint64{b.DPID, a.DPID}] = l
 	cost := linkCost(cfg)
@@ -149,8 +177,9 @@ func (n *Network) HostLink(ip netaddr.IPv4) *device.Link {
 // and records the attachment. It returns the switch-side port id.
 func (n *Network) AttachHost(h *device.Host, sw *device.Switch, cfg device.LinkConfig) uint32 {
 	p := n.allocPort(sw)
-	n.hostLinks[h.IP] = device.Connect(n.Eng, sw, p, h, 1, cfg)
+	n.hostLinks[h.IP] = device.Connect(sw, p, h, 1, cfg)
 	n.attach[h.IP] = Attach{DPID: sw.DPID, Port: p}
+	n.hop1 = nil // attachment changed; drop cached single-hop paths
 	return p
 }
 
@@ -181,7 +210,16 @@ func (n *Network) Path(from uint64, dstIP netaddr.IPv4) ([]Hop, bool) {
 		return nil, false
 	}
 	if from == at.DPID {
-		return []Hop{{DPID: at.DPID, OutPort: at.Port}}, true
+		h, ok := n.hop1[dstIP]
+		if !ok {
+			h = make([]Hop, 1)
+			h[0] = Hop{DPID: at.DPID, OutPort: at.Port}
+			if n.hop1 == nil {
+				n.hop1 = make(map[netaddr.IPv4][]Hop)
+			}
+			n.hop1[dstIP] = h
+		}
+		return h, true
 	}
 	hops, ok := n.switchPath(from, at.DPID)
 	if !ok {

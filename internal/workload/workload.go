@@ -22,42 +22,56 @@ type Flow struct {
 
 // Emitter sends flows from a host, registering each with a capture.
 type Emitter struct {
-	Eng  *sim.Engine
+	Eng  sim.Proc
 	Host *device.Host
 	Cap  *capture.Capture // may be nil
 }
 
 // NewEmitter binds a host to a capture.
-func NewEmitter(eng *sim.Engine, host *device.Host, cap *capture.Capture) *Emitter {
+func NewEmitter(eng sim.Proc, host *device.Host, cap *capture.Capture) *Emitter {
 	return &Emitter{Eng: eng, Host: host, Cap: cap}
+}
+
+// emission is one flow's shared send state: every scheduled packet of the
+// flow references this single box (via DeferCall) instead of owning a
+// closure, so starting an n-packet flow costs one allocation, not n+1.
+type emission struct {
+	e  *Emitter
+	f  Flow
+	id uint64
+}
+
+// emitOne sends packet a2 (its index) of emission a1.
+func emitOne(a1, a2 any) {
+	em := a1.(*emission)
+	i := a2.(int)
+	e, f := em.e, em.f
+	flags := uint8(packet.FlagACK)
+	if i == 0 {
+		flags = packet.FlagSYN
+	}
+	p := packet.NewTCP(f.Key.Src, f.Key.Dst, f.Key.SrcPort, f.Key.DstPort, flags)
+	if f.Size > p.Size {
+		p.Size = f.Size
+	}
+	p.Meta.FlowID = em.id
+	p.Meta.Seq = i
+	p.Meta.FirstOfFl = i == 0
+	p.Meta.SentAt = e.Eng.Now()
+	if e.Cap != nil {
+		e.Cap.RecordSend(p)
+	}
+	e.Host.Send(p)
 }
 
 // Start begins emitting the flow's packets, the first immediately.
 func (e *Emitter) Start(f Flow) {
-	var id uint64
+	em := &emission{e: e, f: f}
 	if e.Cap != nil {
-		id = e.Cap.NewFlow(f.Key, f.Class, f.Packets).ID
+		em.id = e.Cap.NewFlow(f.Key, f.Class, f.Packets).ID
 	}
 	for i := 0; i < f.Packets; i++ {
-		i := i
-		e.Eng.Schedule(time.Duration(i)*f.Interval, func() {
-			flags := uint8(packet.FlagACK)
-			if i == 0 {
-				flags = packet.FlagSYN
-			}
-			p := packet.NewTCP(f.Key.Src, f.Key.Dst, f.Key.SrcPort, f.Key.DstPort, flags)
-			if f.Size > p.Size {
-				p.Size = f.Size
-			}
-			p.Meta.FlowID = id
-			p.Meta.Seq = i
-			p.Meta.FirstOfFl = i == 0
-			p.Meta.SentAt = e.Eng.Now()
-			if e.Cap != nil {
-				e.Cap.RecordSend(p)
-			}
-			e.Host.Send(p)
-		})
+		e.Eng.DeferCall(e.Eng, time.Duration(i)*f.Interval, emitOne, em, i)
 	}
 }
 
@@ -136,13 +150,13 @@ func interval(rate float64) time.Duration {
 // from the engine's seeded RNG. Deterministic periodic generators phase-
 // lock with each other and with queue service; real traffic does not.
 type arrivals struct {
-	eng     *sim.Engine
+	eng     sim.Proc
 	rate    float64
 	fire    func()
 	stopped bool
 }
 
-func startArrivals(eng *sim.Engine, rate float64, fire func()) *arrivals {
+func startArrivals(eng sim.Proc, rate float64, fire func()) *arrivals {
 	a := &arrivals{eng: eng, rate: rate, fire: fire}
 	if rate > 0 {
 		a.arm()
@@ -171,7 +185,7 @@ type FlashCrowd struct {
 	Base, Peak                             float64
 	RampStart, PeakStart, PeakEnd, RampEnd sim.Time
 
-	eng    *sim.Engine
+	eng    sim.Proc
 	spawn  func()
 	acc    float64
 	last   sim.Time
@@ -179,7 +193,7 @@ type FlashCrowd struct {
 }
 
 // StartFlashCrowd begins driving spawn with the modulated arrival process.
-func StartFlashCrowd(eng *sim.Engine, fc FlashCrowd, spawn func()) *FlashCrowd {
+func StartFlashCrowd(eng sim.Proc, fc FlashCrowd, spawn func()) *FlashCrowd {
 	f := fc
 	f.eng = eng
 	f.spawn = spawn
@@ -238,7 +252,7 @@ func ParetoSize(u float64, alpha float64, minPkts, maxPkts int) int {
 // destination choice. It is the stand-in for the paper's trace-driven
 // experiment input.
 type TraceGen struct {
-	Eng     *sim.Engine
+	Eng     sim.Proc
 	Sources []*Emitter
 	Dsts    []netaddr.IPv4
 	Rate    float64 // aggregate new flows per second

@@ -15,7 +15,7 @@ import (
 func pair(eng *sim.Engine) (*device.Host, *device.Host) {
 	h1 := device.NewHost(eng, "src", netaddr.MakeIPv4(10, 0, 0, 1), netaddr.MakeMAC(1))
 	h2 := device.NewHost(eng, "dst", netaddr.MakeIPv4(10, 0, 1, 1), netaddr.MakeMAC(2))
-	device.Connect(eng, h1, 1, h2, 1, device.LinkConfig{})
+	device.Connect(h1, 1, h2, 1, device.LinkConfig{})
 	return h1, h2
 }
 
